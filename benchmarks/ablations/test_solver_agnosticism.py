@@ -1,0 +1,68 @@
+"""Ablation — FedProx with different local solvers.
+
+The framework admits any local solver (Section 3.2).  Run the same FedProx
+server with SGD, momentum-SGD, Adam, and full-batch GD on a label-skewed
+image federation and check that every solver trains (loss well below the
+initial value) — the server loop is genuinely solver-agnostic.
+"""
+
+import numpy as np
+
+from repro.core import FederatedTrainer
+from repro.datasets import make_femnist_like
+from repro.models import MultinomialLogisticRegression
+from repro.optim import AdamSolver, GDSolver, MomentumSGDSolver, SGDSolver
+from repro.reporting import format_table
+
+ROUNDS = 40
+SEED = 2
+DIM = 64
+
+SOLVERS = {
+    "SGD": lambda: SGDSolver(0.05, batch_size=10),
+    "MomentumSGD": lambda: MomentumSGDSolver(0.01, momentum=0.9, batch_size=10),
+    "Adam": lambda: AdamSolver(0.005, batch_size=10),
+    "GD": lambda: GDSolver(0.1),
+}
+
+
+def _sweep():
+    # Single-prototype variant: this ablation is about the solver
+    # interface, so keep the task easy enough that 20 rounds suffice.
+    dataset = make_femnist_like(
+        num_devices=30, total_samples=1500, dim=DIM, seed=SEED,
+        prototypes_per_class=1, style_mix=0.0,
+    )
+    rows = []
+    for name, make_solver in SOLVERS.items():
+        model = MultinomialLogisticRegression(dim=DIM, num_classes=10)
+        trainer = FederatedTrainer(
+            dataset=dataset,
+            model=model,
+            solver=make_solver(),
+            mu=1.0,
+            clients_per_round=10,
+            epochs=5,
+            seed=SEED,
+            eval_every=5,
+        )
+        history = trainer.run(ROUNDS)
+        rows.append(
+            {
+                "solver": name,
+                "initial_loss": history.train_losses[0],
+                "final_loss": history.final_train_loss(),
+                "final_accuracy": history.final_test_accuracy(),
+            }
+        )
+    return rows
+
+
+def test_solver_agnosticism(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="FedProx (mu=1) across local solvers"))
+
+    for row in rows:
+        assert row["final_loss"] < np.log(10) * 0.7, row  # well below w=0 loss
+        assert row["final_accuracy"] > 0.4, row

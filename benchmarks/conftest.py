@@ -1,0 +1,35 @@
+"""Shared infrastructure for the figure/table benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper at the scale
+selected by the ``REPRO_SCALE`` environment variable (``smoke`` by default;
+``default`` for the EXPERIMENTS.md numbers; ``paper`` for full size).  Run
+with ``-s`` to see the regenerated rows/series::
+
+    REPRO_SCALE=smoke pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Experiment scale preset, from the REPRO_SCALE environment variable."""
+    value = os.environ.get("REPRO_SCALE", "smoke")
+    if value not in ("smoke", "default", "paper"):
+        raise ValueError(f"REPRO_SCALE must be smoke/default/paper, got {value!r}")
+    return value
+
+
+def show(text: str) -> None:
+    """Print a regenerated artifact (visible with pytest -s)."""
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

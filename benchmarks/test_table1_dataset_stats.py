@@ -1,0 +1,31 @@
+"""Table 1 — statistics of the four real federated datasets.
+
+Regenerates the Devices / Samples / mean / stdev table for the four
+dataset stand-ins and checks the paper's qualitative shape: MNIST-like and
+FEMNIST-like are heavy-tailed (stdev > mean), Sent140-like is mild
+(stdev < mean).
+"""
+
+from conftest import run_once, show
+
+from repro.experiments import render_table1, run_table1
+from repro.experiments.configs import get_scale
+
+
+def test_table1_dataset_stats(benchmark, scale):
+    rows = run_once(benchmark, lambda: run_table1(scale=scale))
+    show(render_table1(scale=scale))
+
+    by_name = {r["Dataset"]: r for r in rows}
+    assert len(rows) == 4
+
+    s = get_scale(scale)
+    assert by_name["MNIST-like"]["Devices"] == s.image_devices
+    assert by_name["MNIST-like"]["Samples"] == s.image_samples
+    assert by_name["FEMNIST-like"]["Devices"] == s.femnist_devices
+
+    # Shape: image datasets are power-law skewed; Sent140 sizes are mild.
+    mnist = by_name["MNIST-like"]
+    assert mnist["Samples/device stdev"] > mnist["Samples/device mean"] * 0.8
+    sent = by_name["Sent140-like"]
+    assert sent["Samples/device stdev"] < sent["Samples/device mean"]

@@ -1,0 +1,81 @@
+"""Statistical heterogeneity and the proximal term (Figure 2/3 style).
+
+Sweeps the four synthetic datasets from IID to highly heterogeneous,
+showing that (1) convergence of mu=0 degrades with heterogeneity, (2) the
+proximal term mitigates it, (3) the gradient-variance dissimilarity metric
+tracks the loss, and (4) the adaptive-mu heuristic recovers the best fixed
+mu from an adversarial start.
+
+Run:  python examples/statistical_heterogeneity.py
+"""
+
+from repro.core import AdaptiveMuController, make_fedprox
+from repro.datasets import synthetic_suite
+from repro.models import MultinomialLogisticRegression
+from repro.reporting import format_table, sparkline
+
+ROUNDS = 60
+SEED = 2
+
+
+def run(dataset, mu=0.0, controller=None):
+    model = MultinomialLogisticRegression(dim=60, num_classes=10)
+    trainer = make_fedprox(
+        dataset,
+        model,
+        learning_rate=0.01,
+        mu=mu,
+        mu_controller=controller,
+        seed=SEED,
+        track_dissimilarity=True,
+        dissimilarity_max_clients=30,
+    )
+    return trainer.run(ROUNDS)
+
+
+def main() -> None:
+    suite = synthetic_suite(seed=SEED)
+
+    rows = []
+    for name, dataset in suite.items():
+        for label, mu in [("mu=0 (FedAvg)", 0.0), ("mu=1", 1.0)]:
+            history = run(dataset, mu=mu)
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": label,
+                    "loss": sparkline(history.train_losses, width=20),
+                    "final loss": history.final_train_loss(),
+                    "final grad var": history.dissimilarities[-1],
+                }
+            )
+    print(
+        format_table(
+            rows,
+            title="Heterogeneity sweep: loss and gradient-variance dissimilarity",
+        )
+    )
+
+    # Adaptive mu from adversarial starts (Figure 3).
+    print()
+    rows = []
+    for name, mu0 in [("Synthetic-IID", 1.0), ("Synthetic(1,1)", 0.0)]:
+        dataset = suite[name]
+        fixed = run(dataset, mu=1.0)
+        adaptive = run(
+            dataset, controller=AdaptiveMuController(initial_mu=mu0)
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "adaptive start mu": mu0,
+                "adaptive final mu": adaptive.mus[-1],
+                "adaptive final loss": adaptive.final_train_loss(),
+                "fixed mu=1 final loss": fixed.final_train_loss(),
+            }
+        )
+    print(format_table(rows, title="Adaptive mu from adversarial initialization"))
+
+
+if __name__ == "__main__":
+    main()

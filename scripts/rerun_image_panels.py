@@ -1,0 +1,25 @@
+"""Rerun the image-dataset panels of figures 1/8/9 at default scale.
+
+The prototype-image generator gained multi-style prototypes after the full
+default-scale run started; this regenerates the affected panels so
+EXPERIMENTS.md reflects the shipped generator.
+"""
+import time
+
+from repro.experiments import run_figure1, run_figure8, run_figure9, figure7_accuracy_rows
+from repro.reporting import figure_result_markdown, format_table
+
+IMAGES = ["MNIST-like", "FEMNIST-like"]
+
+for runner, kwargs in [
+    (run_figure1, dict(scale="default", seed=0, datasets=IMAGES)),
+    (run_figure8, dict(scale="default", seed=0, datasets=IMAGES)),
+    (run_figure9, dict(scale="default", seed=0, datasets=IMAGES)),
+]:
+    t0 = time.time()
+    result = runner(**kwargs)
+    print(figure_result_markdown(result))
+    if runner is run_figure1:
+        print(format_table(figure7_accuracy_rows(result), title="figure7 (images)"))
+        print()
+    print(f"-- {result.figure_id} images rerun done in {time.time()-t0:.0f}s --", flush=True)

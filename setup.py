@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, which modern
+``pip install -e .`` requires for PEP 660 editable installs. This shim lets
+``python setup.py develop`` (and old-style ``pip install -e . --no-use-pep517``
+once wheel is present) install the package from src/.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Federated Optimization in Heterogeneous Networks".
+
+FedProx (Li et al., MLSys 2020) generalizes FedAvg with a proximal local
+subproblem and tolerance for partial work from stragglers.  This package
+implements the full system from scratch on NumPy: an autodiff engine, the
+paper's models and federated datasets, a systems-heterogeneity simulator,
+the FedAvg/FedProx/FedDane algorithms, and an experiment harness that
+regenerates every table and figure in the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro.datasets import make_synthetic
+>>> from repro.models import MultinomialLogisticRegression
+>>> from repro.core import make_fedprox
+>>> data = make_synthetic(1.0, 1.0, seed=0)
+>>> model = MultinomialLogisticRegression(dim=60, num_classes=10)
+>>> trainer = make_fedprox(data, model, learning_rate=0.01, mu=1.0)
+>>> history = trainer.run(num_rounds=10)
+>>> history.final_train_loss()  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from . import autograd, core, datasets, io, metrics, models, nn, optim, systems, theory
+
+__all__ = [
+    "autograd",
+    "nn",
+    "models",
+    "optim",
+    "datasets",
+    "systems",
+    "core",
+    "metrics",
+    "theory",
+    "io",
+    "__version__",
+]

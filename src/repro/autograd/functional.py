@@ -1,0 +1,157 @@
+"""Composite differentiable functions built on the primitive ops.
+
+These are the loss functions and fused operations used by the model zoo.
+Fusing softmax with cross-entropy keeps the backward pass numerically
+stable and cheap (the classic ``softmax - onehot`` gradient).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor, as_tensor
+
+
+def softmax_cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    reduction: str = "mean",
+    sample_weight: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Cross-entropy between ``softmax(logits)`` and integer ``labels``.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, classes)`` unnormalized scores.
+    labels:
+        ``(batch,)`` integer class indices.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    sample_weight:
+        Optional per-sample weights, applied before the reduction.
+
+    Returns
+    -------
+    Tensor
+        Scalar loss (or per-sample loss vector when ``reduction="none"``).
+    """
+    logits = as_tensor(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+
+    batch = logits.shape[0]
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    per_sample = -log_probs[np.arange(batch), labels]
+    if sample_weight is not None:
+        per_sample = per_sample * sample_weight
+
+    softmax_vals = np.exp(log_probs)
+
+    if reduction == "mean":
+        out_data = per_sample.mean()
+    elif reduction == "sum":
+        out_data = per_sample.sum()
+    elif reduction == "none":
+        out_data = per_sample
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(grad: np.ndarray) -> None:
+        base = softmax_vals.copy()
+        base[np.arange(batch), labels] -= 1.0
+        if sample_weight is not None:
+            base *= np.asarray(sample_weight)[:, None]
+        if reduction == "mean":
+            g = base * (grad / batch)
+        elif reduction == "sum":
+            g = base * grad
+        else:  # per-sample
+            g = base * np.asarray(grad)[:, None]
+        logits._accumulate(g)
+
+    if logits.requires_grad or logits._parents:
+        return Tensor(out_data, _parents=(logits,), _backward_fn=backward)
+    return Tensor(out_data)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, labels: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Binary cross-entropy on raw logits, numerically stable.
+
+    Uses the identity
+    ``BCE(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|))``.
+
+    Parameters
+    ----------
+    logits:
+        Arbitrary-shape raw scores.
+    labels:
+        Same-shape array of {0, 1} targets (floats allowed).
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    logits = as_tensor(logits)
+    y = np.asarray(labels, dtype=np.float64)
+    x = logits.data
+    per_elem = np.maximum(x, 0.0) - x * y + np.log1p(np.exp(-np.abs(x)))
+
+    sigma = np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.abs(x))),
+        np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))),
+    )
+
+    if reduction == "mean":
+        out_data = per_elem.mean()
+    elif reduction == "sum":
+        out_data = per_elem.sum()
+    elif reduction == "none":
+        out_data = per_elem
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(grad: np.ndarray) -> None:
+        base = sigma - y
+        if reduction == "mean":
+            g = base * (grad / per_elem.size)
+        elif reduction == "sum":
+            g = base * grad
+        else:
+            g = base * np.asarray(grad)
+        logits._accumulate(g)
+
+    if logits.requires_grad or logits._parents:
+        return Tensor(out_data, _parents=(logits,), _backward_fn=backward)
+    return Tensor(out_data)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Mean squared error between ``pred`` and a constant ``target``."""
+    pred = as_tensor(pred)
+    diff = ops.sub(pred, Tensor(np.asarray(target, dtype=np.float64)))
+    sq = ops.mul(diff, diff)
+    if reduction == "mean":
+        return ops.mean(sq)
+    if reduction == "sum":
+        return ops.sum_(sq)
+    if reduction == "none":
+        return sq
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def l2_norm_squared(t: Tensor) -> Tensor:
+    """Squared Euclidean norm ``sum(t**2)`` of a tensor of any shape."""
+    t = as_tensor(t)
+    return ops.sum_(ops.mul(t, t))

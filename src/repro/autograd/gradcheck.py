@@ -1,0 +1,96 @@
+"""Numeric gradient checking utilities.
+
+Used throughout the test suite to verify every autograd operation and every
+model gradient against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function.
+
+    Parameters
+    ----------
+    fn:
+        Maps an array of ``x.shape`` to a Python float.
+    x:
+        Point at which to evaluate the gradient.
+    eps:
+        Perturbation half-width.
+
+    Returns
+    -------
+    numpy.ndarray
+        Approximate gradient, same shape as ``x``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn(x)
+        flat[i] = orig - eps
+        f_minus = fn(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[np.ndarray],
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> None:
+    """Assert that autograd gradients of ``fn`` match finite differences.
+
+    Parameters
+    ----------
+    fn:
+        Takes a list of :class:`Tensor` inputs and returns a scalar Tensor.
+    inputs:
+        Arrays for each input; all are treated as differentiable.
+    eps, rtol, atol:
+        Finite-difference step and comparison tolerances.
+
+    Raises
+    ------
+    AssertionError
+        If any analytic gradient deviates from the numeric one.
+    """
+    tensors = [Tensor(np.asarray(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(tensors)
+    if out.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued fn")
+    out.backward()
+    analytic = [
+        t.grad if t.grad is not None else np.zeros_like(t.data) for t in tensors
+    ]
+
+    for i, x in enumerate(inputs):
+        def scalar_fn(xi: np.ndarray, i: int = i) -> float:
+            args = [
+                Tensor(xi if j == i else np.asarray(inputs[j], dtype=np.float64))
+                for j in range(len(inputs))
+            ]
+            return float(fn(args).data)
+
+        numeric = numeric_gradient(scalar_fn, np.asarray(x, dtype=np.float64), eps=eps)
+        if not np.allclose(analytic[i], numeric, rtol=rtol, atol=atol):
+            max_err = np.abs(analytic[i] - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {i}: max abs error {max_err:.3e}\n"
+                f"analytic:\n{analytic[i]}\nnumeric:\n{numeric}"
+            )

@@ -1,0 +1,87 @@
+"""Per-round callbacks for the federated trainer.
+
+Callbacks observe each finished round (they never mutate the model) and can
+request early termination.  :class:`EarlyStopping` applies the paper's own
+convergence/divergence criteria (Appendix C.3.2) online, so long runs stop
+as soon as the stopping point that Figure 7's protocol would pick is
+reached.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..metrics.convergence import (
+    CONVERGENCE_TOL,
+    DIVERGENCE_JUMP,
+    DIVERGENCE_WINDOW,
+)
+from .history import RoundRecord
+
+
+class Callback(abc.ABC):
+    """Observer of training rounds.
+
+    Subclasses implement :meth:`on_round_end`; returning ``True`` asks the
+    trainer to stop after the current round.
+    """
+
+    @abc.abstractmethod
+    def on_round_end(self, record: RoundRecord) -> bool:
+        """Handle a finished round; return ``True`` to stop training."""
+
+
+class EarlyStopping(Callback):
+    """Stop when the paper's convergence or divergence criterion fires.
+
+    Convergence: ``|f_t − f_{t−1}| < tol`` (default 1e-4).
+    Divergence: ``f_t − f_{t−window} > jump`` (default: +1 over 10 rounds).
+
+    Attributes
+    ----------
+    stopped_reason:
+        ``None`` while running; ``"converged"`` or ``"diverged"`` after the
+        criterion fires.
+    """
+
+    def __init__(
+        self,
+        tol: float = CONVERGENCE_TOL,
+        divergence_window: int = DIVERGENCE_WINDOW,
+        divergence_jump: float = DIVERGENCE_JUMP,
+    ) -> None:
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        if divergence_window < 1:
+            raise ValueError("divergence_window must be at least 1")
+        self.tol = float(tol)
+        self.divergence_window = int(divergence_window)
+        self.divergence_jump = float(divergence_jump)
+        self._losses: List[float] = []
+        self.stopped_reason: Optional[str] = None
+
+    def on_round_end(self, record: RoundRecord) -> bool:
+        self._losses.append(record.train_loss)
+        t = len(self._losses) - 1
+        if (
+            t >= self.divergence_window
+            and self._losses[t] - self._losses[t - self.divergence_window]
+            > self.divergence_jump
+        ):
+            self.stopped_reason = "diverged"
+            return True
+        if t >= 1 and abs(self._losses[t] - self._losses[t - 1]) < self.tol:
+            self.stopped_reason = "converged"
+            return True
+        return False
+
+
+class LambdaCallback(Callback):
+    """Wrap a plain function ``record -> bool | None`` as a callback."""
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def on_round_end(self, record: RoundRecord) -> bool:
+        return bool(self.fn(record))

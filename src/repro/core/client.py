@@ -1,0 +1,155 @@
+"""Client-side execution of one round's local work."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.federated import ClientData
+from ..models.base import FederatedModel
+from ..optim.base import LocalSolver, batches_per_epoch
+from ..optim.inexactness import gamma_inexactness
+from ..optim.proximal import LocalObjective
+
+
+@dataclass
+class ClientUpdate:
+    """Result of one device's local solve.
+
+    Attributes
+    ----------
+    client_id:
+        Device that produced the update.
+    w:
+        The device's approximate local-subproblem minimizer ``w_k^{t+1}``.
+    num_train:
+        The device's local sample count ``n_k`` (aggregation weight).
+    epochs:
+        Local work actually performed (fractional for stragglers).
+    gradient_evaluations:
+        Mini-batch gradient evaluations spent.
+    gamma:
+        Measured γ-inexactness of the solve (Definition 2), when the
+        trainer requested it; ``None`` otherwise.
+    """
+
+    client_id: int
+    w: np.ndarray
+    num_train: int
+    epochs: float
+    gradient_evaluations: int
+    gamma: Optional[float] = None
+
+
+class Client:
+    """One device: local data plus the ability to run a local solve.
+
+    The model instance is *shared* across clients of a federation (the
+    trainer owns a single model whose parameters are overwritten for each
+    loss/gradient query); this mirrors simulation practice and keeps the
+    1000-device configurations within memory.
+
+    Parameters
+    ----------
+    data:
+        The device's local train/test data.
+    model:
+        Shared model used as the loss/gradient oracle.
+    solver:
+        Local solver (any :class:`~repro.optim.base.LocalSolver`).
+    """
+
+    def __init__(
+        self, data: ClientData, model: FederatedModel, solver: LocalSolver
+    ) -> None:
+        self.data = data
+        self.model = model
+        self.solver = solver
+
+    @property
+    def client_id(self) -> int:
+        """Device identifier within the federation."""
+        return self.data.client_id
+
+    def make_objective(
+        self,
+        w_global: np.ndarray,
+        mu: float,
+        correction: Optional[np.ndarray] = None,
+    ) -> LocalObjective:
+        """The device's local subproblem anchored at the global model."""
+        return LocalObjective(
+            model=self.model,
+            X=self.data.train_x,
+            y=self.data.train_y,
+            w_ref=w_global,
+            mu=mu,
+            correction=correction,
+        )
+
+    def local_solve(
+        self,
+        w_global: np.ndarray,
+        mu: float,
+        epochs: float,
+        rng: np.random.Generator,
+        correction: Optional[np.ndarray] = None,
+        measure_gamma: bool = False,
+    ) -> ClientUpdate:
+        """Run the local solver from the global model and report the result.
+
+        Parameters
+        ----------
+        w_global:
+            Round-start global model ``w_t``.
+        mu:
+            Proximal coefficient of the subproblem (0 for FedAvg).
+        epochs:
+            Work budget from the systems model (fractional allowed).
+        rng:
+            Mini-batch shuffling randomness for this (round, device).
+        correction:
+            Optional FedDane linear correction vector.
+        measure_gamma:
+            Also measure the solve's γ-inexactness (Definition 2); costs
+            two extra full-batch gradient evaluations.
+        """
+        objective = self.make_objective(w_global, mu, correction=correction)
+        w_local = self.solver.solve(objective, w_global, epochs, rng)
+        batch_size = getattr(self.solver, "batch_size", self.data.num_train)
+        per_epoch = batches_per_epoch(self.data.num_train, batch_size)
+        evaluations = max(1, int(round(epochs * per_epoch)))
+        gamma = (
+            gamma_inexactness(objective, w_local, w_global)
+            if measure_gamma
+            else None
+        )
+        return ClientUpdate(
+            client_id=self.client_id,
+            w=w_local,
+            num_train=self.data.num_train,
+            epochs=epochs,
+            gradient_evaluations=evaluations,
+            gamma=gamma,
+        )
+
+    def train_loss(self, w: np.ndarray) -> float:
+        """Local training loss ``F_k(w)``."""
+        self.model.set_params(w)
+        return self.model.loss(self.data.train_x, self.data.train_y)
+
+    def train_gradient(self, w: np.ndarray) -> np.ndarray:
+        """Local full-batch gradient ``∇F_k(w)``."""
+        self.model.set_params(w)
+        return self.model.gradient(self.data.train_x, self.data.train_y)
+
+    def test_metrics(self, w: np.ndarray) -> tuple:
+        """``(num_correct, num_test)`` on the device's held-out data."""
+        if self.data.num_test == 0:
+            return 0, 0
+        self.model.set_params(w)
+        predictions = self.model.predict(self.data.test_x)
+        correct = int(np.sum(predictions == self.data.test_y))
+        return correct, self.data.num_test

@@ -1,0 +1,137 @@
+"""Round-by-round training records.
+
+Every experiment in the harness reduces to one or more
+:class:`TrainingHistory` objects; the figure benchmarks print and compare
+their series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RoundRecord:
+    """Metrics for a single communication round.
+
+    Attributes
+    ----------
+    round_idx:
+        Round number (0-based; metrics are evaluated *after* aggregation).
+    train_loss:
+        Global objective ``f(w) = sum_k p_k F_k(w)`` on training data.
+    test_accuracy:
+        Sample-weighted accuracy across all devices' test sets
+        (``None`` if evaluation was skipped this round).
+    dissimilarity:
+        Gradient-variance dissimilarity ``E_k ||∇F_k(w) − ∇f(w)||²``
+        (``None`` unless tracking was enabled).
+    mu:
+        The proximal coefficient in effect this round (varies when the
+        adaptive-µ controller is active).
+    gamma_mean, gamma_max:
+        Mean/max measured γ-inexactness over this round's accepted local
+        solves (``None`` unless gamma tracking was enabled).
+    selected:
+        Device ids the server selected.
+    stragglers:
+        Selected devices that could not complete the full E epochs.
+    dropped:
+        Devices whose updates were discarded (FedAvg's straggler handling).
+    """
+
+    round_idx: int
+    train_loss: float
+    test_accuracy: Optional[float] = None
+    dissimilarity: Optional[float] = None
+    mu: float = 0.0
+    gamma_mean: Optional[float] = None
+    gamma_max: Optional[float] = None
+    selected: List[int] = field(default_factory=list)
+    stragglers: List[int] = field(default_factory=list)
+    dropped: List[int] = field(default_factory=list)
+
+
+class TrainingHistory:
+    """Ordered collection of :class:`RoundRecord` for one training run.
+
+    Parameters
+    ----------
+    label:
+        Display name of the run (e.g. ``"FedProx (mu=1)"``).
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.records: List[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        """Add the next round's record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index: int) -> RoundRecord:
+        return self.records[index]
+
+    # Series accessors ---------------------------------------------------- #
+    @property
+    def rounds(self) -> List[int]:
+        """Round indices."""
+        return [r.round_idx for r in self.records]
+
+    @property
+    def train_losses(self) -> List[float]:
+        """Global training-loss series."""
+        return [r.train_loss for r in self.records]
+
+    @property
+    def test_accuracies(self) -> List[float]:
+        """Test-accuracy series (skipped rounds omitted)."""
+        return [r.test_accuracy for r in self.records if r.test_accuracy is not None]
+
+    @property
+    def dissimilarities(self) -> List[float]:
+        """Dissimilarity series (untracked rounds omitted)."""
+        return [r.dissimilarity for r in self.records if r.dissimilarity is not None]
+
+    @property
+    def mus(self) -> List[float]:
+        """Per-round proximal coefficient series."""
+        return [r.mu for r in self.records]
+
+    @property
+    def gamma_means(self) -> List[float]:
+        """Per-round mean measured γ (untracked rounds omitted)."""
+        return [r.gamma_mean for r in self.records if r.gamma_mean is not None]
+
+    def final_train_loss(self) -> float:
+        """Training loss after the last round."""
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].train_loss
+
+    def final_test_accuracy(self) -> Optional[float]:
+        """Most recent recorded test accuracy."""
+        for record in reversed(self.records):
+            if record.test_accuracy is not None:
+                return record.test_accuracy
+        return None
+
+    def best_test_accuracy(self) -> Optional[float]:
+        """Highest recorded test accuracy."""
+        accs = self.test_accuracies
+        return max(accs) if accs else None
+
+    def to_dict(self) -> Dict[str, list]:
+        """Column-oriented dump for CSV emission."""
+        return {
+            "round": self.rounds,
+            "train_loss": self.train_losses,
+            "test_accuracy": [r.test_accuracy for r in self.records],
+            "dissimilarity": [r.dissimilarity for r in self.records],
+            "mu": self.mus,
+            "gamma_mean": [r.gamma_mean for r in self.records],
+        }

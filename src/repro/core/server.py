@@ -1,0 +1,299 @@
+"""The federated server loop (Algorithms 1 and 2).
+
+:class:`FederatedTrainer` implements the generalized FedProx framework; the
+paper's concrete methods are configurations of it:
+
+* **FedAvg** (Algorithm 1): ``mu=0``, SGD local solver, and
+  ``drop_stragglers=True`` — devices that cannot finish ``E`` epochs within
+  the round are discarded.
+* **FedProx** (Algorithm 2): any ``mu >= 0``, any local solver, and
+  stragglers' *partial* solutions are aggregated.
+
+Randomness protocol: the paper fixes "the randomly selected devices, the
+stragglers, and mini-batch orders across all runs".  All three draws here
+are pure functions of the construction seed plus round/device indices, so
+any two trainers built with the same ``seed`` (and sampling scheme /
+systems model seeds) experience identical environments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.federated import FederatedDataset
+from ..models.base import FederatedModel
+from ..optim.base import LocalSolver
+from ..systems.costs import CostTracker
+from ..systems.stragglers import NoHeterogeneity, SystemsModel
+from .adaptive_mu import AdaptiveMuController
+from .callbacks import Callback
+from .client import Client, ClientUpdate
+from .dissimilarity import measure_dissimilarity
+from .history import RoundRecord, TrainingHistory
+from .sampling import SamplingScheme, UniformSamplingWeightedAverage
+
+
+def global_train_loss(clients: Sequence[Client], w: np.ndarray) -> float:
+    """The global objective ``f(w) = sum_k p_k F_k(w)`` of Equation 1."""
+    masses = np.array([c.data.num_train for c in clients], dtype=np.float64)
+    masses /= masses.sum()
+    losses = np.array([c.train_loss(w) for c in clients])
+    return float(masses @ losses)
+
+
+def global_test_accuracy(clients: Sequence[Client], w: np.ndarray) -> float:
+    """Sample-weighted test accuracy across all devices."""
+    correct = 0
+    total = 0
+    for client in clients:
+        c, n = client.test_metrics(w)
+        correct += c
+        total += n
+    if total == 0:
+        raise ValueError("no test samples anywhere in the federation")
+    return correct / total
+
+
+class FederatedTrainer:
+    """Generalized FedProx server (Algorithm 2 of the paper).
+
+    Parameters
+    ----------
+    dataset:
+        The federation's data.
+    model:
+        Shared model instance used as every client's loss/gradient oracle;
+        its parameters at construction time become ``w_0``.
+    solver:
+        Local solver run on each selected device.
+    mu:
+        Proximal coefficient of the local subproblem (0 recovers the
+        FedAvg subproblem).
+    drop_stragglers:
+        ``True`` reproduces FedAvg's straggler handling (discard devices
+        that could not complete ``E`` epochs); ``False`` aggregates their
+        partial solutions (FedProx).
+    clients_per_round:
+        ``K`` — the number of devices selected each round (10 in all paper
+        experiments).
+    epochs:
+        ``E`` — the target local epochs per round (20 in most experiments).
+    sampling:
+        Device sampling/aggregation scheme; defaults to the experiments'
+        scheme (uniform sampling + weighted average).
+    systems:
+        Systems-heterogeneity model assigning per-device work budgets;
+        defaults to no heterogeneity.
+    mu_controller:
+        Optional adaptive-µ controller; when given, it overrides ``mu``
+        from the second round onward.
+    seed:
+        Seed for mini-batch order derivation.
+    eval_every:
+        Evaluate test accuracy (and dissimilarity) every this many rounds.
+    eval_test:
+        Disable to skip test-set evaluation entirely.
+    track_dissimilarity:
+        Record the gradient-variance dissimilarity each evaluation round.
+    track_gamma:
+        Measure every accepted local solve's γ-inexactness (Definition 2)
+        and record the round's mean/max — the empirical counterpart of
+        Corollary 9's variable γ's.  Costs two extra full-batch gradients
+        per device per round.
+    dissimilarity_max_clients:
+        Subsample size for dissimilarity measurement on large federations.
+    cost_tracker:
+        Optional communication/computation cost accounting.
+    callbacks:
+        Per-round observers; any callback returning ``True`` from
+        ``on_round_end`` stops :meth:`run` early (e.g.
+        :class:`~repro.core.callbacks.EarlyStopping`).
+    label:
+        Display name stored on the produced history.
+    """
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model: FederatedModel,
+        solver: LocalSolver,
+        *,
+        mu: float = 0.0,
+        drop_stragglers: bool = False,
+        clients_per_round: int = 10,
+        epochs: float = 20,
+        sampling: Optional[SamplingScheme] = None,
+        systems: Optional[SystemsModel] = None,
+        mu_controller: Optional[AdaptiveMuController] = None,
+        seed: int = 0,
+        eval_every: int = 1,
+        eval_test: bool = True,
+        track_dissimilarity: bool = False,
+        track_gamma: bool = False,
+        dissimilarity_max_clients: Optional[int] = None,
+        cost_tracker: Optional[CostTracker] = None,
+        callbacks: Optional[List[Callback]] = None,
+        label: str = "",
+    ) -> None:
+        if mu < 0:
+            raise ValueError("mu must be non-negative")
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.dataset = dataset
+        self.model = model
+        self.solver = solver
+        self.mu = float(mu)
+        self.drop_stragglers = bool(drop_stragglers)
+        self.epochs = float(epochs)
+        self.sampling = sampling or UniformSamplingWeightedAverage(
+            dataset, clients_per_round, seed=seed
+        )
+        self.systems = systems or NoHeterogeneity()
+        self.mu_controller = mu_controller
+        if mu_controller is not None:
+            self.mu = mu_controller.mu
+        self.seed = int(seed)
+        self.eval_every = int(eval_every)
+        self.eval_test = bool(eval_test)
+        self.track_dissimilarity = bool(track_dissimilarity)
+        self.track_gamma = bool(track_gamma)
+        self.dissimilarity_max_clients = dissimilarity_max_clients
+        self.cost_tracker = cost_tracker
+        self.callbacks: List[Callback] = list(callbacks or [])
+        if cost_tracker is not None and cost_tracker.model_bytes == 0:
+            cost_tracker.model_bytes = model.n_params * 8
+        self.label = label or self.describe()
+
+        self.clients: List[Client] = [
+            Client(data, model, solver) for data in dataset
+        ]
+        self.w = model.get_params()
+        self._round = 0
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """Canonical display name for this configuration."""
+        if self.drop_stragglers and self.mu == 0 and self.mu_controller is None:
+            return "FedAvg"
+        if self.mu_controller is not None:
+            return "FedProx (adaptive mu)"
+        return f"FedProx (mu={self.mu:g})"
+
+    def _batch_rng(self, round_idx: int, client_id: int, occurrence: int) -> np.random.Generator:
+        """Mini-batch shuffling randomness, fixed across compared runs."""
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, round_idx, client_id, occurrence])
+        )
+
+    def _local_updates(
+        self, round_idx: int, selected: List[int]
+    ) -> Tuple[List[ClientUpdate], List[int], List[int]]:
+        """Run local solves; returns (accepted updates, stragglers, dropped)."""
+        assignments = self.systems.assign(round_idx, selected, self.epochs)
+        cost = None
+        if self.cost_tracker is not None:
+            cost = self.cost_tracker.start_round(round_idx, len(selected))
+
+        updates: List[ClientUpdate] = []
+        stragglers: List[int] = []
+        dropped: List[int] = []
+        occurrence_count: dict = {}
+        for assignment in assignments:
+            cid = assignment.client_id
+            occurrence = occurrence_count.get(cid, 0)
+            occurrence_count[cid] = occurrence + 1
+            if assignment.is_straggler:
+                stragglers.append(cid)
+                if self.drop_stragglers:
+                    dropped.append(cid)
+                    continue
+            update = self.clients[cid].local_solve(
+                w_global=self.w,
+                mu=self.mu,
+                epochs=assignment.epochs,
+                rng=self._batch_rng(round_idx, cid, occurrence),
+                measure_gamma=self.track_gamma,
+            )
+            updates.append(update)
+            if cost is not None:
+                self.cost_tracker.record_upload(
+                    cost, update.epochs, update.gradient_evaluations
+                )
+        return updates, stragglers, dropped
+
+    def _evaluate(self, round_idx: int) -> RoundRecord:
+        """Post-aggregation metrics for the current global model."""
+        train_loss = global_train_loss(self.clients, self.w)
+        record = RoundRecord(
+            round_idx=round_idx, train_loss=train_loss, mu=self.mu
+        )
+        if (round_idx % self.eval_every) == 0 or round_idx == 0:
+            if self.eval_test:
+                record.test_accuracy = global_test_accuracy(self.clients, self.w)
+            if self.track_dissimilarity:
+                report = measure_dissimilarity(
+                    self.clients,
+                    self.w,
+                    max_clients=self.dissimilarity_max_clients,
+                )
+                record.dissimilarity = report.gradient_variance
+        return record
+
+    def run_round(self) -> RoundRecord:
+        """Execute one communication round and return its metrics."""
+        round_idx = self._round
+        selected = self.sampling.select(round_idx)
+        updates, stragglers, dropped = self._local_updates(round_idx, selected)
+        accepted = [(u.client_id, u.w) for u in updates]
+        self.w = self.sampling.aggregate(accepted, self.w)
+        self.model.set_params(self.w)
+
+        record = self._evaluate(round_idx)
+        record.selected = list(selected)
+        record.stragglers = stragglers
+        record.dropped = dropped
+        if self.track_gamma:
+            gammas = [u.gamma for u in updates if u.gamma is not None]
+            finite = [g for g in gammas if np.isfinite(g)]
+            if finite:
+                record.gamma_mean = float(np.mean(finite))
+                record.gamma_max = float(np.max(finite))
+
+        if self.mu_controller is not None:
+            self.mu = self.mu_controller.update(record.train_loss)
+
+        self._round += 1
+        return record
+
+    def run(self, num_rounds: int) -> TrainingHistory:
+        """Run up to ``num_rounds`` communication rounds.
+
+        Stops early if any callback requests it; calling :meth:`run` again
+        continues from the current round counter.  The final round is
+        always fully evaluated, even when ``eval_every`` would have skipped
+        it, so ``history.final_test_accuracy()`` reflects the final model.
+        """
+        history = TrainingHistory(label=self.label)
+        for _ in range(num_rounds):
+            record = self.run_round()
+            history.append(record)
+            if any(cb.on_round_end(record) for cb in self.callbacks):
+                break
+        self._ensure_final_evaluation(history)
+        return history
+
+    def _ensure_final_evaluation(self, history: TrainingHistory) -> None:
+        """Fill in test accuracy (and dissimilarity) for the last round."""
+        if not history.records:
+            return
+        last = history.records[-1]
+        if self.eval_test and last.test_accuracy is None:
+            last.test_accuracy = global_test_accuracy(self.clients, self.w)
+        if self.track_dissimilarity and last.dissimilarity is None:
+            report = measure_dissimilarity(
+                self.clients, self.w,
+                max_clients=self.dissimilarity_max_clients,
+            )
+            last.dissimilarity = report.gradient_variance

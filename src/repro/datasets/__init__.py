@@ -1,0 +1,45 @@
+"""Federated datasets: containers, partitioners, and generators."""
+
+from .federated import (
+    ClientData,
+    DatasetStats,
+    FederatedDataset,
+    train_test_split_client,
+)
+from .from_arrays import federate_arrays
+from .leaf_io import load_leaf, save_leaf
+from .images import (
+    make_femnist_like,
+    make_mnist_like,
+    make_prototype_image_dataset,
+)
+from .partition import (
+    assign_classes_per_device,
+    iid_partition,
+    lognormal_sizes,
+    power_law_sizes,
+)
+from .synthetic import make_synthetic, make_synthetic_iid, synthetic_suite
+from .text import make_sent140_like, make_shakespeare_like
+
+__all__ = [
+    "ClientData",
+    "DatasetStats",
+    "FederatedDataset",
+    "train_test_split_client",
+    "federate_arrays",
+    "load_leaf",
+    "save_leaf",
+    "lognormal_sizes",
+    "power_law_sizes",
+    "assign_classes_per_device",
+    "iid_partition",
+    "make_synthetic",
+    "make_synthetic_iid",
+    "synthetic_suite",
+    "make_prototype_image_dataset",
+    "make_mnist_like",
+    "make_femnist_like",
+    "make_shakespeare_like",
+    "make_sent140_like",
+]

@@ -1,0 +1,203 @@
+"""Federated dataset containers.
+
+A federated dataset is a collection of per-device datasets.  Each device
+holds its own train/test split (the paper splits every device's local data
+80/20).  :class:`FederatedDataset` also computes the summary statistics the
+paper reports in Table 1 (devices, samples, mean and stdev of samples per
+device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ClientData:
+    """One device's local data.
+
+    Attributes
+    ----------
+    client_id:
+        Stable identifier within the federated dataset.
+    train_x, train_y:
+        Local training arrays; ``train_x`` is ``(n, ...)`` and ``train_y``
+        is ``(n,)`` integer labels.
+    test_x, test_y:
+        Local held-out arrays (possibly empty).
+    """
+
+    client_id: int
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def num_train(self) -> int:
+        """Number of local training samples (the paper's ``n_k``)."""
+        return len(self.train_y)
+
+    @property
+    def num_test(self) -> int:
+        """Number of local test samples."""
+        return len(self.test_y)
+
+    @property
+    def num_samples(self) -> int:
+        """Total local samples (train + test)."""
+        return self.num_train + self.num_test
+
+    def __post_init__(self) -> None:
+        if len(self.train_x) != len(self.train_y):
+            raise ValueError(
+                f"client {self.client_id}: train_x/train_y length mismatch"
+            )
+        if len(self.test_x) != len(self.test_y):
+            raise ValueError(
+                f"client {self.client_id}: test_x/test_y length mismatch"
+            )
+        if self.num_train == 0:
+            raise ValueError(f"client {self.client_id} has no training samples")
+
+
+@dataclass
+class DatasetStats:
+    """Table 1 row: summary statistics of a federated dataset."""
+
+    name: str
+    devices: int
+    samples: int
+    mean_samples_per_device: float
+    stdev_samples_per_device: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Dict form used by the Table 1 harness."""
+        return {
+            "Dataset": self.name,
+            "Devices": self.devices,
+            "Samples": self.samples,
+            "Samples/device mean": round(self.mean_samples_per_device),
+            "Samples/device stdev": round(self.stdev_samples_per_device),
+        }
+
+
+class FederatedDataset:
+    """A named collection of :class:`ClientData`.
+
+    Parameters
+    ----------
+    name:
+        Dataset name (used in experiment output).
+    clients:
+        Per-device data.
+    num_classes:
+        Number of label classes across the federation.
+    input_dim:
+        Feature width for vector inputs, or sequence length for integer
+        token inputs (informational).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clients: Sequence[ClientData],
+        num_classes: int,
+        input_dim: Optional[int] = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("a federated dataset needs at least one client")
+        self.name = name
+        self.clients: List[ClientData] = list(clients)
+        self.num_classes = num_classes
+        self.input_dim = input_dim
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __iter__(self) -> Iterator[ClientData]:
+        return iter(self.clients)
+
+    def __getitem__(self, index: int) -> ClientData:
+        return self.clients[index]
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the federation."""
+        return len(self.clients)
+
+    @property
+    def train_sizes(self) -> np.ndarray:
+        """Per-device training sample counts ``n_k``."""
+        return np.array([c.num_train for c in self.clients])
+
+    @property
+    def total_train_samples(self) -> int:
+        """Total training samples across the federation (the paper's ``n``)."""
+        return int(self.train_sizes.sum())
+
+    def sample_fractions(self) -> np.ndarray:
+        """The aggregation masses ``p_k = n_k / n`` from Equation 1."""
+        sizes = self.train_sizes.astype(np.float64)
+        return sizes / sizes.sum()
+
+    def stats(self) -> DatasetStats:
+        """Summary statistics in the format of the paper's Table 1.
+
+        Table 1 reports totals over all samples (train + test).
+        """
+        counts = np.array([c.num_samples for c in self.clients], dtype=np.float64)
+        return DatasetStats(
+            name=self.name,
+            devices=self.num_devices,
+            samples=int(counts.sum()),
+            mean_samples_per_device=float(counts.mean()),
+            stdev_samples_per_device=float(counts.std(ddof=1)) if len(counts) > 1 else 0.0,
+        )
+
+    def global_train(self) -> tuple:
+        """Concatenate all devices' training data (for centralized baselines)."""
+        X = np.concatenate([c.train_x for c in self.clients])
+        y = np.concatenate([c.train_y for c in self.clients])
+        return X, y
+
+    def global_test(self) -> tuple:
+        """Concatenate all devices' test data."""
+        xs = [c.test_x for c in self.clients if c.num_test > 0]
+        ys = [c.test_y for c in self.clients if c.num_test > 0]
+        if not xs:
+            raise ValueError("no test data in this federated dataset")
+        return np.concatenate(xs), np.concatenate(ys)
+
+
+def train_test_split_client(
+    client_id: int,
+    X: np.ndarray,
+    y: np.ndarray,
+    rng: np.random.Generator,
+    test_fraction: float = 0.2,
+) -> ClientData:
+    """Split one device's samples into local train/test sets.
+
+    The paper "randomly split[s] the data on each local device into an 80%
+    training set and a 20% testing set".  At least one sample is always
+    kept for training.
+    """
+    if not 0.0 <= test_fraction < 1.0:
+        raise ValueError("test_fraction must be in [0, 1)")
+    n = len(y)
+    order = rng.permutation(n)
+    n_test = int(n * test_fraction)
+    if n - n_test < 1:
+        n_test = n - 1
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return ClientData(
+        client_id=client_id,
+        train_x=X[train_idx],
+        train_y=y[train_idx],
+        test_x=X[test_idx],
+        test_y=y[test_idx],
+    )

@@ -1,0 +1,118 @@
+"""Partitioning utilities: device sizes and label-skew assignment.
+
+Two forms of statistical heterogeneity appear in the paper's setups:
+
+* **size skew** — "the number of samples per device follows a power law".
+  The reference implementation (github.com/litian96/FedProx) realizes this
+  with a log-normal draw (``lognormal(4, 2) + 50`` for the synthetic data),
+  whose heavy tail is the operative property.  Both a log-normal and a
+  Zipf-style power-law sampler are provided.
+* **label skew** — each MNIST device holds samples of only 2 digits; each
+  FEMNIST device holds 5 of 10 classes.  :func:`assign_classes_per_device`
+  reproduces that scheme.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def lognormal_sizes(
+    rng: np.random.Generator,
+    num_devices: int,
+    mean_log: float = 4.0,
+    sigma_log: float = 2.0,
+    minimum: int = 50,
+    cap: Optional[int] = None,
+) -> np.ndarray:
+    """Heavy-tailed per-device sample counts (reference-implementation style).
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    num_devices:
+        Number of devices.
+    mean_log, sigma_log:
+        Log-normal parameters (the reference code uses 4 and 2).
+    minimum:
+        Added to every draw so no device is starved.
+    cap:
+        Optional upper bound applied after the draw, to keep single-CPU
+        harness runs tractable.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer sizes, shape ``(num_devices,)``.
+    """
+    sizes = rng.lognormal(mean_log, sigma_log, num_devices).astype(int) + minimum
+    if cap is not None:
+        sizes = np.minimum(sizes, cap)
+    return sizes
+
+
+def power_law_sizes(
+    rng: np.random.Generator,
+    num_devices: int,
+    total_samples: int,
+    alpha: float = 1.5,
+    minimum: int = 2,
+) -> np.ndarray:
+    """Zipf-style power-law device sizes summing to ``total_samples``.
+
+    Sizes are proportional to ``rank^(-alpha)`` over a random device
+    ordering, floored at ``minimum``, and adjusted so they sum exactly to
+    ``total_samples``.
+    """
+    if total_samples < num_devices * minimum:
+        raise ValueError("total_samples too small for the requested minimum")
+    ranks = np.arange(1, num_devices + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    rng.shuffle(weights)
+    raw = weights / weights.sum() * (total_samples - num_devices * minimum)
+    sizes = raw.astype(int) + minimum
+    # Distribute the integer-truncation remainder one sample at a time.
+    deficit = total_samples - sizes.sum()
+    if deficit > 0:
+        receivers = rng.choice(num_devices, size=deficit, replace=True)
+        np.add.at(sizes, receivers, 1)
+    return sizes
+
+
+def assign_classes_per_device(
+    rng: np.random.Generator,
+    num_devices: int,
+    num_classes: int,
+    classes_per_device: int,
+) -> List[np.ndarray]:
+    """Choose which label classes each device may hold.
+
+    Devices cycle through classes in shifted contiguous blocks (the scheme
+    used by the reference MNIST partition: device ``k`` holds digits
+    ``{k mod 10, (k+1) mod 10}``), with a random per-dataset offset.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        For each device, the sorted class ids it may hold.
+    """
+    if classes_per_device > num_classes:
+        raise ValueError("classes_per_device cannot exceed num_classes")
+    offset = int(rng.integers(num_classes))
+    assignments = []
+    for k in range(num_devices):
+        start = (k + offset) % num_classes
+        classes = [(start + j) % num_classes for j in range(classes_per_device)]
+        assignments.append(np.array(sorted(classes)))
+    return assignments
+
+
+def iid_partition(
+    rng: np.random.Generator, num_samples: int, num_devices: int
+) -> List[np.ndarray]:
+    """Shuffle sample indices and deal them out evenly to devices."""
+    order = rng.permutation(num_samples)
+    return [np.sort(chunk) for chunk in np.array_split(order, num_devices)]

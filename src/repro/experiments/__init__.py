@@ -1,0 +1,75 @@
+"""Experiment harness: one runner per paper table/figure.
+
+See DESIGN.md §5 for the experiment index and :data:`EXPERIMENTS` for the
+programmatic registry.
+"""
+
+from .configs import (
+    DEFAULT,
+    PAPER,
+    SCALES,
+    SMOKE,
+    ExperimentScale,
+    Workload,
+    FIGURE1_BEST_MU,
+    figure1_workloads,
+    get_scale,
+    synthetic_suite_workloads,
+)
+from .figure1 import (
+    figure7_accuracy_rows,
+    figure7_improvement,
+    run_figure1,
+    run_figure9,
+)
+from .figure2 import run_figure2, run_figure8
+from .figure3 import run_figure3, run_figure11
+from .figure4 import run_figure4_bottom, run_figure4_top
+from .figure5 import run_figure5
+from .figure12 import run_figure12
+from .registry import EXPERIMENTS, ExperimentEntry, get_experiment
+from .results import FigureResult, PanelResult
+from .runner import MethodSpec, build_trainer, figure1_methods, run_methods
+from .sweeps import LR_GRID, SweepResult, tune_learning_rate, tune_mu
+from .table1 import PAPER_TABLE1, render_table1, run_table1
+
+__all__ = [
+    "ExperimentScale",
+    "Workload",
+    "SCALES",
+    "SMOKE",
+    "DEFAULT",
+    "PAPER",
+    "get_scale",
+    "figure1_workloads",
+    "synthetic_suite_workloads",
+    "FIGURE1_BEST_MU",
+    "MethodSpec",
+    "run_methods",
+    "build_trainer",
+    "figure1_methods",
+    "tune_learning_rate",
+    "tune_mu",
+    "SweepResult",
+    "LR_GRID",
+    "FigureResult",
+    "PanelResult",
+    "run_table1",
+    "render_table1",
+    "PAPER_TABLE1",
+    "run_figure1",
+    "run_figure9",
+    "figure7_accuracy_rows",
+    "figure7_improvement",
+    "run_figure2",
+    "run_figure8",
+    "run_figure3",
+    "run_figure11",
+    "run_figure4_top",
+    "run_figure4_bottom",
+    "run_figure5",
+    "run_figure12",
+    "EXPERIMENTS",
+    "ExperimentEntry",
+    "get_experiment",
+]

@@ -1,0 +1,95 @@
+"""Registry mapping every paper table/figure to its runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .figure1 import run_figure1, run_figure9
+from .figure2 import run_figure2, run_figure8
+from .figure3 import run_figure3, run_figure11
+from .figure4 import run_figure4_bottom, run_figure4_top
+from .figure5 import run_figure5
+from .figure12 import run_figure12
+from .table1 import run_table1
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible artifact of the paper's evaluation."""
+
+    experiment_id: str
+    description: str
+    runner: Callable
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    entry.experiment_id: entry
+    for entry in [
+        ExperimentEntry(
+            "table1",
+            "Statistics of the four real federated datasets",
+            run_table1,
+        ),
+        ExperimentEntry(
+            "figure1",
+            "Training loss under 0/50/90% stragglers, five datasets, E=20",
+            run_figure1,
+        ),
+        ExperimentEntry(
+            "figure2",
+            "Statistical-heterogeneity sweep on synthetic data (+Fig 6 accuracy)",
+            run_figure2,
+        ),
+        ExperimentEntry(
+            "figure3",
+            "Adaptive mu heuristic on Synthetic-IID and Synthetic(1,1)",
+            run_figure3,
+        ),
+        ExperimentEntry(
+            "figure4-top",
+            "FedProx vs FedDane at mu in {0,1} on synthetic datasets",
+            run_figure4_top,
+        ),
+        ExperimentEntry(
+            "figure4-bottom",
+            "FedDane with increasing gradient-estimate device counts",
+            run_figure4_bottom,
+        ),
+        ExperimentEntry(
+            "figure5",
+            "IID robustness to stragglers",
+            run_figure5,
+        ),
+        ExperimentEntry(
+            "figure8",
+            "Dissimilarity metric on five datasets (no stragglers)",
+            run_figure8,
+        ),
+        ExperimentEntry(
+            "figure9",
+            "Stragglers with E=1 (loss: Fig 9, accuracy: Fig 10)",
+            run_figure9,
+        ),
+        ExperimentEntry(
+            "figure11",
+            "Adaptive mu on all four synthetic datasets",
+            run_figure11,
+        ),
+        ExperimentEntry(
+            "figure12",
+            "Two device sampling schemes at mu in {0,1}",
+            run_figure12,
+        ),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up an experiment by its paper identifier."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )

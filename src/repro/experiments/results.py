@@ -1,0 +1,168 @@
+"""Result containers shared by all figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.history import TrainingHistory
+from ..reporting.ascii_plot import ascii_chart
+from ..reporting.tables import format_table, series_table, write_csv
+
+
+@dataclass
+class PanelResult:
+    """One subplot of a figure: several methods on one dataset/environment.
+
+    Attributes
+    ----------
+    dataset:
+        Workload name.
+    environment:
+        Environment descriptor, e.g. ``"90% stragglers"`` or ``"E=1"``.
+    histories:
+        ``method label -> TrainingHistory``.
+    """
+
+    dataset: str
+    environment: str
+    histories: Dict[str, TrainingHistory]
+
+    def loss_series(self) -> Dict[str, List[float]]:
+        """Training-loss series per method."""
+        return {label: h.train_losses for label, h in self.histories.items()}
+
+    def accuracy_series(self) -> Dict[str, List[Optional[float]]]:
+        """Test-accuracy series per method (None where skipped)."""
+        return {
+            label: [r.test_accuracy for r in h.records]
+            for label, h in self.histories.items()
+        }
+
+    def dissimilarity_series(self) -> Dict[str, List[Optional[float]]]:
+        """Gradient-variance series per method (None where untracked)."""
+        return {
+            label: [r.dissimilarity for r in h.records]
+            for label, h in self.histories.items()
+        }
+
+    def title(self) -> str:
+        return f"{self.dataset} [{self.environment}]" if self.environment else self.dataset
+
+
+@dataclass
+class FigureResult:
+    """All panels of one reproduced figure.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper identifier, e.g. ``"figure1"``.
+    description:
+        One-line summary of what the figure shows.
+    panels:
+        Subplots in paper order.
+    """
+
+    figure_id: str
+    description: str
+    panels: List[PanelResult] = field(default_factory=list)
+
+    def panel(self, dataset: str, environment: str = "") -> PanelResult:
+        """Find a panel by dataset (and environment when ambiguous)."""
+        for p in self.panels:
+            if p.dataset == dataset and (not environment or p.environment == environment):
+                return p
+        raise KeyError(f"no panel {dataset!r} / {environment!r} in {self.figure_id}")
+
+    def render(self, metric: str = "loss", charts: bool = True) -> str:
+        """Render every panel as an ASCII chart plus a summary table.
+
+        Parameters
+        ----------
+        metric:
+            ``"loss"``, ``"accuracy"`` or ``"dissimilarity"``.
+        charts:
+            Include ASCII charts (tables are always included).
+        """
+        blocks = [f"== {self.figure_id}: {self.description} =="]
+        for panel in self.panels:
+            if metric == "loss":
+                series = panel.loss_series()
+                y_label = "training loss"
+            elif metric == "accuracy":
+                series = {
+                    k: [v for v in vs if v is not None]
+                    for k, vs in panel.accuracy_series().items()
+                }
+                y_label = "test accuracy"
+            elif metric == "dissimilarity":
+                series = {
+                    k: [v for v in vs if v is not None]
+                    for k, vs in panel.dissimilarity_series().items()
+                }
+                y_label = "variance of local gradients"
+            else:
+                raise ValueError(f"unknown metric {metric!r}")
+            series = {k: v for k, v in series.items() if v}
+            if not series:
+                continue
+            if charts:
+                blocks.append(
+                    ascii_chart(series, title=panel.title(), y_label=y_label)
+                )
+            summary_rows = [
+                {
+                    "method": label,
+                    "first": values[0],
+                    "last": values[-1],
+                    "best": min(values) if metric == "loss" else max(values),
+                }
+                for label, values in series.items()
+            ]
+            blocks.append(format_table(summary_rows, title=panel.title()))
+        return "\n\n".join(blocks)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Flat per-(panel, method) summary rows for tables and CSV."""
+        rows: List[Dict[str, object]] = []
+        for panel in self.panels:
+            for label, history in panel.histories.items():
+                rows.append(
+                    {
+                        "figure": self.figure_id,
+                        "dataset": panel.dataset,
+                        "environment": panel.environment,
+                        "method": label,
+                        "final_loss": history.final_train_loss(),
+                        "best_loss": min(history.train_losses),
+                        "final_accuracy": history.final_test_accuracy(),
+                        "best_accuracy": history.best_test_accuracy(),
+                    }
+                )
+        return rows
+
+    def write_series_csv(self, directory: Union[str, Path]) -> List[Path]:
+        """Write one CSV of round-series per panel; returns written paths."""
+        directory = Path(directory)
+        paths = []
+        for panel in self.panels:
+            series: Dict[str, List[Optional[float]]] = {}
+            for label, history in panel.histories.items():
+                series[f"{label} loss"] = list(history.train_losses)
+                series[f"{label} acc"] = [r.test_accuracy for r in history.records]
+            rows = series_table(series)
+            safe = (
+                f"{self.figure_id}_{panel.dataset}_{panel.environment}".replace(
+                    " ", ""
+                )
+                .replace("%", "pct")
+                .replace("(", "")
+                .replace(")", "")
+                .replace(",", "_")
+                .replace("=", "")
+                .rstrip("_")
+            )
+            paths.append(write_csv(directory / f"{safe}.csv", rows))
+        return paths

@@ -1,0 +1,86 @@
+"""Table 1 — statistics of the four "real" federated datasets.
+
+Paper values:
+
+======================  =======  =======  ====  =====
+Dataset                 Devices  Samples  mean  stdev
+======================  =======  =======  ====  =====
+MNIST                     1,000   69,035    69    106
+FEMNIST                     200   18,345    92    159
+Shakespeare                 143  517,106  3616   6808
+Sent140                     772   40,783    53     32
+======================  =======  =======  ====  =====
+
+At ``scale="paper"`` the generators reproduce the Devices and Samples
+columns exactly (they are generation parameters) and the mean/stdev shape
+(heavy-tailed for MNIST/FEMNIST/Shakespeare, mild for Sent140).  Smaller
+scales shrink everything proportionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..datasets import (
+    make_femnist_like,
+    make_mnist_like,
+    make_sent140_like,
+    make_shakespeare_like,
+)
+from ..reporting.tables import format_table
+from .configs import ExperimentScale, get_scale
+
+#: The paper's Table 1, for side-by-side comparison.
+PAPER_TABLE1 = [
+    {"Dataset": "MNIST", "Devices": 1000, "Samples": 69035, "Samples/device mean": 69, "Samples/device stdev": 106},
+    {"Dataset": "FEMNIST", "Devices": 200, "Samples": 18345, "Samples/device mean": 92, "Samples/device stdev": 159},
+    {"Dataset": "Shakespeare", "Devices": 143, "Samples": 517106, "Samples/device mean": 3616, "Samples/device stdev": 6808},
+    {"Dataset": "Sent140", "Devices": 772, "Samples": 40783, "Samples/device mean": 53, "Samples/device stdev": 32},
+]
+
+
+def run_table1(scale: str = "smoke", seed: int = 0) -> List[Dict[str, object]]:
+    """Generate the four datasets and report their Table 1 rows.
+
+    The image datasets are generated with a reduced feature width at
+    sub-paper scales (the table's statistics do not depend on it).
+    """
+    s: ExperimentScale = get_scale(scale)
+    datasets = [
+        make_mnist_like(
+            num_devices=s.image_devices,
+            total_samples=s.image_samples,
+            dim=s.image_dim,
+            seed=seed,
+        ),
+        make_femnist_like(
+            num_devices=s.femnist_devices,
+            total_samples=s.femnist_samples,
+            dim=s.image_dim,
+            seed=seed,
+        ),
+        make_shakespeare_like(
+            num_devices=s.shakespeare_devices,
+            seq_len=s.shakespeare_seq_len,
+            samples_per_device_mean=s.shakespeare_samples_mean,
+            seed=seed,
+        ),
+        make_sent140_like(
+            num_devices=s.sent140_devices,
+            vocab_size=s.sent140_vocab,
+            seq_len=s.sent140_seq_len,
+            seed=seed,
+        ),
+    ]
+    return [d.stats().as_row() for d in datasets]
+
+
+def render_table1(scale: str = "smoke", seed: int = 0) -> str:
+    """Our Table 1 next to the paper's, as plain text."""
+    ours = run_table1(scale=scale, seed=seed)
+    return "\n\n".join(
+        [
+            format_table(ours, title=f"Table 1 (reproduced, scale={scale})"),
+            format_table(PAPER_TABLE1, title="Table 1 (paper)"),
+        ]
+    )

@@ -1,0 +1,23 @@
+"""Persistence for models, histories and checkpoints."""
+
+from .persistence import (
+    history_from_dict,
+    history_to_dict,
+    load_checkpoint,
+    load_history,
+    load_model_params,
+    save_checkpoint,
+    save_history,
+    save_model_params,
+)
+
+__all__ = [
+    "save_model_params",
+    "load_model_params",
+    "history_to_dict",
+    "history_from_dict",
+    "save_history",
+    "load_history",
+    "save_checkpoint",
+    "load_checkpoint",
+]

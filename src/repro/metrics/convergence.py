@@ -1,0 +1,88 @@
+"""Convergence and divergence detectors.
+
+Appendix C.3.2 defines the criteria the paper uses when computing the
+"+22% accuracy" aggregate: "We consider the methods to converge when the
+loss difference in two consecutive rounds ``|f_t − f_{t−1}|`` is smaller
+than 0.0001, and consider the methods to diverge when we see
+``f_t − f_{t−10}`` greater than 1."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+CONVERGENCE_TOL = 1e-4
+DIVERGENCE_WINDOW = 10
+DIVERGENCE_JUMP = 1.0
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Where a loss series converged, diverged, or simply ended.
+
+    Attributes
+    ----------
+    status:
+        ``"converged"``, ``"diverged"`` or ``"exhausted"`` (ran out of
+        rounds without meeting either criterion).
+    stop_round:
+        Index (into the series) at which the criterion fired, or the last
+        index for ``"exhausted"``.
+    """
+
+    status: str
+    stop_round: int
+
+
+def classify_run(
+    losses: Sequence[float],
+    tol: float = CONVERGENCE_TOL,
+    divergence_window: int = DIVERGENCE_WINDOW,
+    divergence_jump: float = DIVERGENCE_JUMP,
+) -> RunOutcome:
+    """Apply the paper's convergence/divergence criteria to a loss series.
+
+    The earliest-firing criterion wins; scanning is left to right.
+
+    Parameters
+    ----------
+    losses:
+        Global training loss per round.
+    tol:
+        Consecutive-round difference below which the run has converged.
+    divergence_window, divergence_jump:
+        A rise of more than ``divergence_jump`` over ``divergence_window``
+        rounds marks divergence.
+    """
+    if not losses:
+        raise ValueError("empty loss series")
+    for t in range(1, len(losses)):
+        if (
+            t >= divergence_window
+            and losses[t] - losses[t - divergence_window] > divergence_jump
+        ):
+            return RunOutcome(status="diverged", stop_round=t)
+        if abs(losses[t] - losses[t - 1]) < tol:
+            return RunOutcome(status="converged", stop_round=t)
+    return RunOutcome(status="exhausted", stop_round=len(losses) - 1)
+
+
+def accuracy_at_outcome(
+    losses: Sequence[float], accuracies: Sequence[Optional[float]]
+) -> Optional[float]:
+    """Test accuracy at the run's stopping point (Appendix C.3.2 protocol).
+
+    The paper "identif[ies] the accuracies of FedProx and FedAvg when they
+    have either converged, started to diverge, or run [a] sufficient number
+    of rounds, whichever comes earlier".  ``accuracies`` may contain
+    ``None`` for rounds where evaluation was skipped; the nearest earlier
+    recorded accuracy is used.
+    """
+    if len(losses) != len(accuracies):
+        raise ValueError("losses and accuracies must be parallel series")
+    outcome = classify_run(losses)
+    for t in range(outcome.stop_round, -1, -1):
+        if accuracies[t] is not None:
+            return accuracies[t]
+    return None

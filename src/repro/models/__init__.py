@@ -1,0 +1,24 @@
+"""Model zoo implementing the paper's workloads.
+
+* :class:`MultinomialLogisticRegression` — convex model for the synthetic,
+  MNIST-like and FEMNIST-like datasets (closed-form gradients).
+* :class:`MLPClassifier` — small non-convex feed-forward model (ablations).
+* :class:`CharLSTM` — Shakespeare-style next-character prediction.
+* :class:`SentimentLSTM` — Sent140-style binary sentiment classification.
+"""
+
+from .base import FederatedModel, ModelFactory, NeuralModel
+from .charlstm import CharLSTM
+from .logistic import MultinomialLogisticRegression
+from .mlp import MLPClassifier
+from .sentlstm import SentimentLSTM
+
+__all__ = [
+    "FederatedModel",
+    "NeuralModel",
+    "ModelFactory",
+    "MultinomialLogisticRegression",
+    "MLPClassifier",
+    "CharLSTM",
+    "SentimentLSTM",
+]

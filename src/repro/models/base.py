@@ -1,0 +1,141 @@
+"""Model interface consumed by the federated optimization algorithms.
+
+The algorithms in :mod:`repro.core` are *solver- and model-agnostic*: they
+only ever see a flat parameter vector ``w`` plus loss/gradient oracles, which
+is exactly the abstraction used in the paper (local objectives
+``F_k(w)``).  :class:`FederatedModel` pins down that contract; two families
+implement it:
+
+* :class:`~repro.models.logistic.MultinomialLogisticRegression` — closed-form
+  NumPy gradients (fast path for the convex experiments with 1000 devices);
+* :class:`NeuralModel` — an adapter that wraps any :class:`repro.nn.Module`
+  and derives gradients through the autograd engine (LSTM workloads).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn.module import Module
+
+
+class FederatedModel(abc.ABC):
+    """Loss/gradient oracle over a flat parameter vector.
+
+    All array inputs ``X`` are ``(batch, ...)`` and labels ``y`` are
+    ``(batch,)``.  ``loss`` is always the *mean* per-sample loss, matching
+    the empirical-risk local objectives ``F_k`` of the paper.
+    """
+
+    @property
+    @abc.abstractmethod
+    def n_params(self) -> int:
+        """Number of scalar parameters in the flat vector."""
+
+    @abc.abstractmethod
+    def get_params(self) -> np.ndarray:
+        """Return a copy of the current flat parameter vector."""
+
+    @abc.abstractmethod
+    def set_params(self, w: np.ndarray) -> None:
+        """Load a flat parameter vector."""
+
+    @abc.abstractmethod
+    def loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss of the current parameters on a batch."""
+
+    @abc.abstractmethod
+    def gradient(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Flat gradient of the mean loss on a batch."""
+
+    def loss_and_gradient(self, X: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Loss and gradient together (override when fusable)."""
+        return self.loss(X, y), self.gradient(X, y)
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted integer labels for a batch."""
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of correct predictions on a batch."""
+        if len(y) == 0:
+            return 0.0
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def clone(self) -> "FederatedModel":
+        """A structurally identical model with independently-owned parameters.
+
+        Default implementation round-trips through the flat vector on a new
+        instance produced by :meth:`fresh`; subclasses with cheap constructors
+        may override.
+        """
+        other = self.fresh()
+        other.set_params(self.get_params())
+        return other
+
+    @abc.abstractmethod
+    def fresh(self) -> "FederatedModel":
+        """A new instance with the same architecture (parameters unspecified)."""
+
+
+class NeuralModel(FederatedModel):
+    """Adapter exposing a :class:`repro.nn.Module` through the flat interface.
+
+    Subclasses must implement :meth:`build` (construct the module),
+    :meth:`forward_loss` (batch -> scalar loss Tensor) and :meth:`predict`.
+
+    Parameters
+    ----------
+    seed:
+        Seed for weight initialization; stored so :meth:`fresh` can rebuild
+        an identically-initialized architecture.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.module: Module = self.build(np.random.default_rng(seed))
+
+    @abc.abstractmethod
+    def build(self, rng: np.random.Generator) -> Module:
+        """Construct the underlying module."""
+
+    @abc.abstractmethod
+    def forward_loss(self, X: np.ndarray, y: np.ndarray) -> Tensor:
+        """Mean loss as a scalar Tensor wired to the module parameters."""
+
+    # Flat interface ------------------------------------------------------ #
+    @property
+    def n_params(self) -> int:
+        return self.module.num_parameters()
+
+    def get_params(self) -> np.ndarray:
+        return self.module.get_flat()
+
+    def set_params(self, w: np.ndarray) -> None:
+        self.module.set_flat(w)
+
+    def loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(self.forward_loss(X, y).data)
+
+    def gradient(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.loss_and_gradient(X, y)[1]
+
+    def loss_and_gradient(self, X: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:
+        self.module.zero_grad()
+        loss = self.forward_loss(X, y)
+        loss.backward()
+        return float(loss.data), self.module.flat_grad()
+
+    def fresh(self) -> "NeuralModel":
+        return type(self)(**self._init_kwargs())
+
+    def _init_kwargs(self) -> dict:
+        """Constructor kwargs used by :meth:`fresh`; subclasses extend."""
+        return {"seed": self.seed}
+
+
+ModelFactory = Callable[[], FederatedModel]

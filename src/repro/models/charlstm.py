@@ -1,0 +1,96 @@
+"""Character-level LSTM for next-character prediction (Shakespeare workload).
+
+The paper's Shakespeare model is: 8-d character embedding -> 2-layer LSTM
+with 100 hidden units -> dense layer over the 80-character vocabulary,
+predicting the character that follows an 80-character context.  This class
+implements exactly that architecture with configurable (scaled-down) sizes;
+the full-scale paper configuration is ``CharLSTM(vocab_size=80,
+embed_dim=8, hidden=100, num_layers=2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, softmax_cross_entropy
+from ..nn import LSTM, Dense, Embedding
+from ..nn.module import Module
+from .base import NeuralModel
+
+
+class _CharLSTMModule(Module):
+    """Embedding -> stacked LSTM -> dense head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        hidden: int,
+        num_layers: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.embedding = Embedding(vocab_size, embed_dim, rng)
+        self.lstm = LSTM(embed_dim, hidden, num_layers, rng)
+        self.head = Dense(hidden, vocab_size, rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        embedded = self.embedding(token_ids)  # (batch, time, embed_dim)
+        final_hidden = self.lstm(embedded)  # (batch, hidden)
+        return self.head(final_hidden)  # (batch, vocab)
+
+
+class CharLSTM(NeuralModel):
+    """Next-character predictor over integer token sequences.
+
+    Inputs ``X`` are ``(batch, time)`` integer arrays; labels ``y`` are the
+    next-character ids, shape ``(batch,)``.
+
+    Parameters
+    ----------
+    vocab_size:
+        Size of the character vocabulary (80 in the paper).
+    embed_dim:
+        Embedding width (8 in the paper).
+    hidden:
+        LSTM hidden width (100 in the paper).
+    num_layers:
+        Number of stacked LSTM layers (2 in the paper).
+    seed:
+        Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 80,
+        embed_dim: int = 8,
+        hidden: int = 100,
+        num_layers: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden = hidden
+        self.num_layers = num_layers
+        super().__init__(seed=seed)
+
+    def build(self, rng: np.random.Generator) -> Module:
+        return _CharLSTMModule(
+            self.vocab_size, self.embed_dim, self.hidden, self.num_layers, rng
+        )
+
+    def forward_loss(self, X: np.ndarray, y: np.ndarray) -> Tensor:
+        logits = self.module(np.asarray(X))
+        return softmax_cross_entropy(logits, np.asarray(y))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.module(np.asarray(X)).data.argmax(axis=1)
+
+    def _init_kwargs(self) -> dict:
+        return {
+            "vocab_size": self.vocab_size,
+            "embed_dim": self.embed_dim,
+            "hidden": self.hidden,
+            "num_layers": self.num_layers,
+            "seed": self.seed,
+        }

@@ -1,0 +1,61 @@
+"""Two-layer perceptron classifier through the autograd adapter.
+
+Not used by a headline experiment, but exercises the :class:`NeuralModel`
+adapter on a simple feed-forward network and serves as the non-convex model
+for ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, softmax_cross_entropy
+from ..nn import Dense, Sequential
+from ..nn.module import Module
+from .base import NeuralModel
+
+
+class MLPClassifier(NeuralModel):
+    """``dense(hidden, relu) -> dense(classes)`` softmax classifier.
+
+    Parameters
+    ----------
+    dim:
+        Input feature width.
+    num_classes:
+        Output classes.
+    hidden:
+        Hidden layer width.
+    seed:
+        Weight-initialization seed.
+    """
+
+    def __init__(self, dim: int, num_classes: int, hidden: int = 32, seed: int = 0) -> None:
+        self.dim = dim
+        self.num_classes = num_classes
+        self.hidden = hidden
+        super().__init__(seed=seed)
+
+    def build(self, rng: np.random.Generator) -> Module:
+        return Sequential(
+            Dense(self.dim, self.hidden, rng, activation="relu"),
+            Dense(self.hidden, self.num_classes, rng),
+        )
+
+    def forward_logits(self, X: np.ndarray) -> Tensor:
+        """Raw class scores for a batch."""
+        return self.module(Tensor(np.asarray(X, dtype=np.float64)))
+
+    def forward_loss(self, X: np.ndarray, y: np.ndarray) -> Tensor:
+        return softmax_cross_entropy(self.forward_logits(X), np.asarray(y))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.forward_logits(X).data.argmax(axis=1)
+
+    def _init_kwargs(self) -> dict:
+        return {
+            "dim": self.dim,
+            "num_classes": self.num_classes,
+            "hidden": self.hidden,
+            "seed": self.seed,
+        }

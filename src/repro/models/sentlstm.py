@@ -1,0 +1,109 @@
+"""LSTM binary sentiment classifier (Sent140 workload).
+
+The paper's Sent140 model is: 300-d (frozen, pre-trained GloVe) token
+embeddings -> 2-layer LSTM with 256 hidden units -> dense binary head over
+25-token sequences.  Offline we cannot ship GloVe, so the embedding table is
+randomly initialized and optionally frozen (``trainable_embedding=False``
+mirrors the paper's use of fixed pre-trained vectors — see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, binary_cross_entropy_with_logits
+from ..nn import LSTM, Dense, Embedding
+from ..nn.module import Module
+from .base import NeuralModel
+
+
+class _SentLSTMModule(Module):
+    """Embedding -> stacked LSTM -> single-logit dense head."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        hidden: int,
+        num_layers: int,
+        trainable_embedding: bool,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.embedding = Embedding(vocab_size, embed_dim, rng, trainable=trainable_embedding)
+        self.lstm = LSTM(embed_dim, hidden, num_layers, rng)
+        self.head = Dense(hidden, 1, rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        embedded = self.embedding(token_ids)
+        final_hidden = self.lstm(embedded)
+        return self.head(final_hidden)  # (batch, 1) raw logit
+
+
+class SentimentLSTM(NeuralModel):
+    """Binary sequence classifier over integer token sequences.
+
+    Inputs ``X`` are ``(batch, time)`` integer arrays; labels ``y`` are
+    {0, 1}.
+
+    Parameters
+    ----------
+    vocab_size:
+        Token vocabulary size.
+    embed_dim:
+        Embedding width (300 in the paper, with GloVe).
+    hidden:
+        LSTM hidden width (256 in the paper).
+    num_layers:
+        Stacked LSTM layers (2 in the paper).
+    trainable_embedding:
+        ``False`` freezes the table, mirroring the paper's fixed GloVe
+        vectors.
+    seed:
+        Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 400,
+        embed_dim: int = 25,
+        hidden: int = 32,
+        num_layers: int = 2,
+        trainable_embedding: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden = hidden
+        self.num_layers = num_layers
+        self.trainable_embedding = trainable_embedding
+        super().__init__(seed=seed)
+
+    def build(self, rng: np.random.Generator) -> Module:
+        return _SentLSTMModule(
+            self.vocab_size,
+            self.embed_dim,
+            self.hidden,
+            self.num_layers,
+            self.trainable_embedding,
+            rng,
+        )
+
+    def forward_loss(self, X: np.ndarray, y: np.ndarray) -> Tensor:
+        logits = self.module(np.asarray(X))
+        targets = np.asarray(y, dtype=np.float64).reshape(-1, 1)
+        return binary_cross_entropy_with_logits(logits, targets)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        logits = self.module(np.asarray(X)).data.reshape(-1)
+        return (logits > 0).astype(np.int64)
+
+    def _init_kwargs(self) -> dict:
+        return {
+            "vocab_size": self.vocab_size,
+            "embed_dim": self.embed_dim,
+            "hidden": self.hidden,
+            "num_layers": self.num_layers,
+            "trainable_embedding": self.trainable_embedding,
+            "seed": self.seed,
+        }

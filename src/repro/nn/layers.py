@@ -1,0 +1,94 @@
+"""Feed-forward layers: dense (fully connected) and embedding."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, ops
+from . import init
+from .module import Module
+
+
+class Dense(Module):
+    """Affine transform ``x @ W + b`` with optional activation.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    rng:
+        Random generator used for Glorot initialization of ``W``.
+    activation:
+        One of ``None``, ``"relu"``, ``"tanh"``, ``"sigmoid"``.
+    bias:
+        Whether to include the bias term.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: Optional[str] = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if activation not in (None, "relu", "tanh", "sigmoid"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.weight = Tensor(
+            init.glorot_uniform(rng, (in_features, out_features)), requires_grad=True
+        )
+        if bias:
+            self.bias = Tensor(init.zeros((out_features,)), requires_grad=True)
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        if self.activation == "relu":
+            out = ops.relu(out)
+        elif self.activation == "tanh":
+            out = ops.tanh(out)
+        elif self.activation == "sigmoid":
+            out = ops.sigmoid(out)
+        return out
+
+
+class Embedding(Module):
+    """Trainable (or frozen) lookup table mapping token ids to vectors.
+
+    Parameters
+    ----------
+    vocab_size, dim:
+        Table shape.
+    rng:
+        Generator for the ``N(0, 0.1^2)`` initialization.
+    trainable:
+        When ``False`` the table is excluded from the parameter registry —
+        this mirrors the frozen pre-trained GloVe embeddings used by the
+        paper's Sent140 model.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        rng: np.random.Generator,
+        trainable: bool = True,
+    ) -> None:
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.weight = Tensor(
+            init.normal(rng, (vocab_size, dim), std=0.1), requires_grad=trainable
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return ops.embedding(self.weight, np.asarray(indices))

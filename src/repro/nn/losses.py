@@ -1,0 +1,15 @@
+"""Loss functions re-exported at the nn level for convenience."""
+
+from __future__ import annotations
+
+from ..autograd.functional import (
+    binary_cross_entropy_with_logits,
+    mse_loss,
+    softmax_cross_entropy,
+)
+
+__all__ = [
+    "softmax_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+]

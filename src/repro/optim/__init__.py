@@ -1,0 +1,19 @@
+"""Local solvers and local-subproblem objectives."""
+
+from .adam import AdamSolver
+from .base import LocalSolver, epoch_batches
+from .inexactness import gamma_inexactness, is_gamma_inexact
+from .proximal import LocalObjective
+from .sgd import GDSolver, MomentumSGDSolver, SGDSolver
+
+__all__ = [
+    "LocalSolver",
+    "LocalObjective",
+    "epoch_batches",
+    "SGDSolver",
+    "MomentumSGDSolver",
+    "GDSolver",
+    "AdamSolver",
+    "gamma_inexactness",
+    "is_gamma_inexact",
+]

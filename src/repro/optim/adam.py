@@ -1,0 +1,76 @@
+"""Adam local solver — demonstrates FedProx's solver-agnosticism.
+
+The paper stresses that FedProx admits "any local (possibly non-iterative)
+solver"; the ablation benchmark ``benchmarks/ablations`` swaps Adam in for
+SGD inside the same FedProx server loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import LocalSolver, work_batches
+from .proximal import LocalObjective
+
+
+class AdamSolver(LocalSolver):
+    """Mini-batch Adam with bias correction.
+
+    Moment state is reset at every local solve, matching the federated
+    setting where devices are stateless between rounds.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size.
+    beta1, beta2:
+        Exponential decay rates for the first/second moment estimates.
+    eps:
+        Denominator fuzz factor.
+    batch_size:
+        Mini-batch size.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        batch_size: int = 10,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.batch_size = int(batch_size)
+
+    def solve(
+        self,
+        objective: LocalObjective,
+        w_start: np.ndarray,
+        epochs: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        w = np.array(w_start, dtype=np.float64, copy=True)
+        m = np.zeros_like(w)
+        v = np.zeros_like(w)
+        step = 0
+        for batch in work_batches(
+            objective.n_samples, self.batch_size, epochs, rng
+        ):
+            step += 1
+            grad = objective.gradient(w, batch)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad**2
+            m_hat = m / (1 - self.beta1**step)
+            v_hat = v / (1 - self.beta2**step)
+            w -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+        return w
+
+    def describe(self) -> str:
+        return f"Adam(lr={self.learning_rate}, B={self.batch_size})"

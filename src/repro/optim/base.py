@@ -1,0 +1,97 @@
+"""Local solver interface.
+
+FedProx is explicitly *solver-agnostic*: any procedure that produces a
+γ-inexact minimizer of the local subproblem is admissible (paper §3.2).
+:class:`LocalSolver` captures that contract — a solver receives a
+:class:`~repro.optim.proximal.LocalObjective`, a starting point, and a
+work budget (epochs), and returns the approximate minimizer.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .proximal import LocalObjective
+
+
+def epoch_batches(
+    n_samples: int, batch_size: int, rng: np.random.Generator
+) -> list:
+    """Split a shuffled index range into mini-batches for one epoch.
+
+    The final partial batch is kept (matching common SGD practice and the
+    reference implementation's behaviour).
+    """
+    order = rng.permutation(n_samples)
+    if batch_size >= n_samples:
+        return [order]
+    return [
+        order[start : start + batch_size]
+        for start in range(0, n_samples, batch_size)
+    ]
+
+
+def batches_per_epoch(n_samples: int, batch_size: int) -> int:
+    """Number of mini-batches in one epoch (final partial batch included)."""
+    if batch_size >= n_samples:
+        return 1
+    return -(-n_samples // batch_size)  # ceil division
+
+
+def work_batches(
+    n_samples: int, batch_size: int, epochs: float, rng: np.random.Generator
+):
+    """Yield mini-batches amounting to ``epochs`` passes over the data.
+
+    ``epochs`` may be fractional — the systems simulator hands stragglers
+    partial budgets (e.g. 0.4 of an epoch when ``E = 1``).  At least one
+    batch is always yielded so every participating device does *some* work.
+    """
+    if epochs < 0:
+        raise ValueError("epochs must be non-negative")
+    per_epoch = batches_per_epoch(n_samples, batch_size)
+    total = max(1, int(round(epochs * per_epoch)))
+    done = 0
+    while done < total:
+        for batch in epoch_batches(n_samples, batch_size, rng):
+            yield batch
+            done += 1
+            if done >= total:
+                return
+
+
+class LocalSolver(abc.ABC):
+    """Produce an approximate minimizer of a local subproblem.
+
+    Implementations must be deterministic given the supplied ``rng``; the
+    federated server uses this to fix mini-batch orders across compared
+    runs, as the paper's experimental protocol requires.
+    """
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        objective: LocalObjective,
+        w_start: np.ndarray,
+        epochs: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Run ``epochs`` of local work from ``w_start`` and return the result.
+
+        Parameters
+        ----------
+        objective:
+            The (possibly proximal) local objective ``h_k``.
+        w_start:
+            Starting parameter vector (the global model ``w_t``).
+        epochs:
+            Number of passes over the device's local data.
+        rng:
+            Source of mini-batch shuffling randomness.
+        """
+
+    def describe(self) -> str:
+        """Short human-readable description, used in experiment logs."""
+        return type(self).__name__

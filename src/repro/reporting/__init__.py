@@ -1,0 +1,16 @@
+"""Plain-text reporting: ASCII charts, tables, CSV emission."""
+
+from .ascii_plot import ascii_chart, sparkline
+from .markdown import figure_result_markdown, markdown_table
+from .tables import csv_string, format_table, series_table, write_csv
+
+__all__ = [
+    "ascii_chart",
+    "figure_result_markdown",
+    "markdown_table",
+    "sparkline",
+    "format_table",
+    "series_table",
+    "write_csv",
+    "csv_string",
+]

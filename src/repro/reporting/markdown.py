@@ -1,0 +1,72 @@
+"""Markdown report generation for figure results.
+
+Turns a :class:`~repro.experiments.results.FigureResult` into the
+per-experiment sections of EXPERIMENTS.md: a summary table per panel plus a
+compact sparkline of each loss series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .ascii_plot import sparkline
+
+
+def markdown_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    # Union of columns across rows, in order of first appearance (rows may
+    # carry extra metric columns, e.g. dissimilarity tracked on one method).
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(c)) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def figure_result_markdown(result, include_accuracy: bool = True) -> str:
+    """One markdown section per panel of a figure result.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.experiments.results.FigureResult`.
+    include_accuracy:
+        Add final/best accuracy columns where recorded.
+    """
+    blocks: List[str] = [f"### {result.figure_id}\n", f"{result.description}\n"]
+    for panel in result.panels:
+        blocks.append(f"**{panel.title()}**\n")
+        rows = []
+        for label, history in panel.histories.items():
+            row: Dict[str, object] = {
+                "method": label,
+                "loss trend": f"`{sparkline(history.train_losses, width=20)}`",
+                "first loss": history.train_losses[0],
+                "final loss": history.final_train_loss(),
+            }
+            if include_accuracy and history.test_accuracies:
+                row["final acc"] = history.final_test_accuracy()
+                row["best acc"] = history.best_test_accuracy()
+            if history.dissimilarities:
+                row["final grad-var"] = history.dissimilarities[-1]
+            rows.append(row)
+        blocks.append(markdown_table(rows))
+        blocks.append("")
+    return "\n".join(blocks)

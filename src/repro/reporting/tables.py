@@ -1,0 +1,85 @@
+"""Plain-text table formatting and CSV emission for experiment output."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict rows as an aligned plain-text table.
+
+    All rows should share the first row's keys; missing values render
+    empty.  Floats are shown with four significant digits.
+    """
+    if not rows:
+        return title or "(empty table)"
+    columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def series_table(
+    series: Dict[str, Sequence[Optional[float]]],
+    x_name: str = "round",
+    every: int = 1,
+) -> List[Dict[str, object]]:
+    """Turn named series into dict rows (one per x), subsampled by ``every``."""
+    length = max(len(v) for v in series.values())
+    rows: List[Dict[str, object]] = []
+    for x in range(0, length, every):
+        row: Dict[str, object] = {x_name: x}
+        for name, values in series.items():
+            row[name] = values[x] if x < len(values) else None
+        rows.append(row)
+    return rows
+
+
+def write_csv(
+    path: Union[str, Path], rows: Sequence[Dict[str, object]]
+) -> Path:
+    """Write dict rows to ``path`` as CSV, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    columns = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def csv_string(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as a CSV string (for logging without a file)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()

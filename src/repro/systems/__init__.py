@@ -1,0 +1,28 @@
+"""Systems-heterogeneity simulation substrate."""
+
+from .clock import ClockDrivenSystems
+from .costs import CostTracker, RoundCost
+from .profiles import NETWORK_TIERS, DeviceProfile, sample_fleet
+from .trace import DeviceRoundTrace, RoundTimeline, trace_round
+from .stragglers import (
+    FractionStragglers,
+    NoHeterogeneity,
+    SystemsModel,
+    WorkAssignment,
+)
+
+__all__ = [
+    "SystemsModel",
+    "WorkAssignment",
+    "NoHeterogeneity",
+    "FractionStragglers",
+    "ClockDrivenSystems",
+    "DeviceProfile",
+    "sample_fleet",
+    "NETWORK_TIERS",
+    "CostTracker",
+    "DeviceRoundTrace",
+    "RoundTimeline",
+    "trace_round",
+    "RoundCost",
+]

@@ -1,0 +1,107 @@
+"""Global-clock systems model.
+
+Section 5.2: "We assume that there is a real-world global clock cycle to
+aggregate model updates, and each participating device determines the amount
+of local work as a function of this clock cycle and its systems
+constraints."
+
+:class:`ClockDrivenSystems` implements that description literally: every
+round lasts ``deadline`` clock cycles; a device with effective speed ``s``
+completes ``min(E, s * deadline)`` epochs (communication time is deducted
+first).  Devices that finish fewer than ``E`` epochs are stragglers —
+dropped by FedAvg, merged by FedProx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .profiles import DeviceProfile
+from .stragglers import SystemsModel, WorkAssignment
+
+
+class ClockDrivenSystems(SystemsModel):
+    """Derive per-round epoch budgets from device profiles and a deadline.
+
+    Parameters
+    ----------
+    profiles:
+        One :class:`DeviceProfile` per device in the federation (indexed by
+        ``device_id``).
+    deadline:
+        Length of the aggregation clock cycle, in cycles.  The reference
+        device (speed 1.0) completes exactly ``deadline`` epochs of work in
+        one round before communication overhead.
+    model_megabits:
+        Size of the model transferred each way, used to deduct
+        communication time from the compute budget.
+    jitter_sigma:
+        Log-normal round-to-round noise on each device's speed (load spikes,
+        thermal throttling).  0 disables jitter.
+    seed:
+        Base seed; jitter is a pure function of ``(seed, round, device)``
+        so that compared algorithms face the same environment.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[DeviceProfile],
+        deadline: float,
+        model_megabits: float = 1.0,
+        jitter_sigma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError("deadline must be positive")
+        self.profiles: Dict[int, DeviceProfile] = {
+            p.device_id: p for p in profiles
+        }
+        self.deadline = float(deadline)
+        self.model_megabits = float(model_megabits)
+        self.jitter_sigma = float(jitter_sigma)
+        self.seed = int(seed)
+
+    def _jitter(self, round_idx: int, device_id: int) -> float:
+        if self.jitter_sigma <= 0:
+            return 1.0
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, round_idx, device_id])
+        )
+        return float(rng.lognormal(0.0, self.jitter_sigma))
+
+    def _communication_cycles(self, profile: DeviceProfile) -> float:
+        """Clock cycles spent on download + upload of the model."""
+        seconds_per_cycle = 1.0  # cycles are the unit of time
+        transfer_seconds = 2.0 * self.model_megabits / profile.bandwidth_mbps
+        return transfer_seconds / seconds_per_cycle
+
+    def epochs_within_deadline(self, round_idx: int, device_id: int) -> float:
+        """Epochs device ``device_id`` completes inside one clock cycle."""
+        profile = self.profiles[device_id]
+        compute_budget = self.deadline - self._communication_cycles(profile)
+        if compute_budget <= 0:
+            return 0.0
+        speed = profile.effective_speed() * self._jitter(round_idx, device_id)
+        return speed * compute_budget
+
+    def assign(
+        self, round_idx: int, client_ids: Sequence[int], max_epochs: float
+    ) -> List[WorkAssignment]:
+        assignments: List[WorkAssignment] = []
+        for client in client_ids:
+            budget = self.epochs_within_deadline(round_idx, client)
+            epochs = min(float(max_epochs), budget)
+            # A device that cannot run any work at all still reports a tiny
+            # budget so FedProx can include (near-anchor) partial solutions;
+            # FedAvg drops it either way.
+            epochs = max(epochs, 0.02)
+            assignments.append(
+                WorkAssignment(
+                    client_id=client,
+                    epochs=epochs,
+                    is_straggler=epochs < float(max_epochs),
+                )
+            )
+        return assignments

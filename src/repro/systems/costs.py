@@ -1,0 +1,99 @@
+"""Communication and computation cost accounting.
+
+The paper reports results per communication round; this tracker records what
+each round costs so experiments can also be read in bytes-on-the-wire or
+local gradient evaluations — useful for the communication/computation
+trade-off discussions in Sections 2-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RoundCost:
+    """Resource usage of one communication round.
+
+    Attributes
+    ----------
+    round_idx:
+        Round number.
+    participants:
+        Devices the server sent the model to.
+    uploads:
+        Devices whose updates the server aggregated (smaller than
+        ``participants`` when FedAvg drops stragglers).
+    bytes_down, bytes_up:
+        Total bytes transferred server->devices and devices->server.
+    local_epochs:
+        Sum of (possibly fractional) epochs run across devices.
+    gradient_evaluations:
+        Total mini-batch gradient evaluations across devices.
+    """
+
+    round_idx: int
+    participants: int = 0
+    uploads: int = 0
+    bytes_down: int = 0
+    bytes_up: int = 0
+    local_epochs: float = 0.0
+    gradient_evaluations: int = 0
+
+
+class CostTracker:
+    """Accumulate :class:`RoundCost` records over a training run.
+
+    Parameters
+    ----------
+    model_bytes:
+        Serialized model size; defaults to 8 bytes per parameter
+        (float64), set when the trainer knows the model.
+    """
+
+    def __init__(self, model_bytes: int = 0) -> None:
+        self.model_bytes = int(model_bytes)
+        self.rounds: List[RoundCost] = []
+
+    def start_round(self, round_idx: int, participants: int) -> RoundCost:
+        """Open a round: the server broadcasts to ``participants`` devices."""
+        cost = RoundCost(
+            round_idx=round_idx,
+            participants=participants,
+            bytes_down=participants * self.model_bytes,
+        )
+        self.rounds.append(cost)
+        return cost
+
+    def record_upload(
+        self, cost: RoundCost, epochs: float, gradient_evaluations: int
+    ) -> None:
+        """Record one device's completed local work and upload."""
+        cost.uploads += 1
+        cost.bytes_up += self.model_bytes
+        cost.local_epochs += float(epochs)
+        cost.gradient_evaluations += int(gradient_evaluations)
+
+    # Aggregates ---------------------------------------------------------- #
+    def total_bytes(self) -> int:
+        """All bytes moved in both directions across the run."""
+        return sum(r.bytes_down + r.bytes_up for r in self.rounds)
+
+    def total_gradient_evaluations(self) -> int:
+        """All mini-batch gradient evaluations across the run."""
+        return sum(r.gradient_evaluations for r in self.rounds)
+
+    def summary(self) -> Dict[str, float]:
+        """Run-level totals for experiment reports."""
+        return {
+            "rounds": len(self.rounds),
+            "total_bytes": self.total_bytes(),
+            "total_gradient_evaluations": self.total_gradient_evaluations(),
+            "total_local_epochs": sum(r.local_epochs for r in self.rounds),
+            "mean_uploads_per_round": (
+                sum(r.uploads for r in self.rounds) / len(self.rounds)
+                if self.rounds
+                else 0.0
+            ),
+        }

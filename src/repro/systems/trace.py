@@ -1,0 +1,110 @@
+"""Round-timeline tracing under the global-clock systems model.
+
+The paper's simulation assumes "a real-world global clock cycle to
+aggregate model updates" (Section 5.2).  :class:`RoundTimeline` makes that
+timeline explicit: for each selected device it records download time,
+compute time, upload time, whether the deadline was hit, and the work
+completed — useful for visualizing *why* a device straggled (slow CPU vs
+slow link vs low battery) and for auditing the clock-driven systems model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .clock import ClockDrivenSystems
+from .profiles import DeviceProfile
+
+
+@dataclass(frozen=True)
+class DeviceRoundTrace:
+    """What one device did during one clock cycle.
+
+    Attributes
+    ----------
+    device_id:
+        The device.
+    download_cycles, upload_cycles:
+        Time spent receiving/sending the model.
+    compute_cycles:
+        Time spent on local training (bounded by the remaining budget).
+    epochs_completed:
+        Local work performed, in (fractional) epochs.
+    epochs_target:
+        The global target ``E``.
+    hit_deadline:
+        True when the device ran out of cycle before completing ``E``.
+    bottleneck:
+        ``"network"`` when communication ate >50% of the cycle,
+        ``"compute"`` otherwise.
+    """
+
+    device_id: int
+    download_cycles: float
+    upload_cycles: float
+    compute_cycles: float
+    epochs_completed: float
+    epochs_target: float
+    hit_deadline: bool
+    bottleneck: str
+
+
+@dataclass
+class RoundTimeline:
+    """All device traces for one communication round."""
+
+    round_idx: int
+    deadline: float
+    traces: List[DeviceRoundTrace] = field(default_factory=list)
+
+    @property
+    def stragglers(self) -> List[int]:
+        """Devices that hit the deadline before completing ``E`` epochs."""
+        return [t.device_id for t in self.traces if t.hit_deadline]
+
+    def bottleneck_counts(self) -> Dict[str, int]:
+        """How many stragglers were network- vs compute-bound."""
+        counts: Dict[str, int] = {"network": 0, "compute": 0}
+        for t in self.traces:
+            if t.hit_deadline:
+                counts[t.bottleneck] += 1
+        return counts
+
+
+def trace_round(
+    systems: ClockDrivenSystems,
+    round_idx: int,
+    client_ids: Sequence[int],
+    max_epochs: float,
+) -> RoundTimeline:
+    """Reconstruct the clock timeline for one round of selected devices.
+
+    Uses the same deterministic jitter as
+    :meth:`ClockDrivenSystems.assign`, so the trace agrees with what the
+    trainer actually simulated for the same ``(seed, round)``.
+    """
+    timeline = RoundTimeline(round_idx=round_idx, deadline=systems.deadline)
+    for device_id in client_ids:
+        profile: DeviceProfile = systems.profiles[device_id]
+        comm = systems._communication_cycles(profile)
+        download = upload = comm / 2.0
+        budget = systems.epochs_within_deadline(round_idx, device_id)
+        completed = min(float(max_epochs), budget)
+        speed = profile.effective_speed() * systems._jitter(round_idx, device_id)
+        compute = completed / speed if speed > 0 else systems.deadline
+        hit_deadline = completed < float(max_epochs)
+        bottleneck = "network" if comm > 0.5 * systems.deadline else "compute"
+        timeline.traces.append(
+            DeviceRoundTrace(
+                device_id=device_id,
+                download_cycles=download,
+                upload_cycles=upload,
+                compute_cycles=compute,
+                epochs_completed=completed,
+                epochs_target=float(max_epochs),
+                hit_deadline=hit_deadline,
+                bottleneck=bottleneck,
+            )
+        )
+    return timeline

@@ -1,0 +1,214 @@
+"""Convergence-theory calculators (Section 4 of the paper).
+
+These implement the paper's formulas so that experiments can be checked
+against the theory:
+
+* :func:`rho` — the per-round decrease coefficient of Theorem 4::
+
+      rho = 1/mu - gamma*B/mu - B(1+gamma)*sqrt(2)/(mu_bar*sqrt(K))
+            - L*B*(1+gamma)/(mu_bar*mu) - L*(1+gamma)^2*B^2/(2*mu_bar^2)
+            - L*B^2*(1+gamma)^2*(2*sqrt(2K)+2)/(mu_bar^2*K)
+
+  with ``mu_bar = mu - L_minus`` (Theorem 4 requires ``mu_bar > 0``).
+* :func:`remark5_conditions` — the necessary sanity conditions of Remark 5
+  (``gamma*B < 1`` and ``B < sqrt(K)``).
+* :func:`corollary7_mu` / :func:`corollary7_rho` — the convex-case choices
+  ``mu ~ 6 L B^2`` and ``rho ~ 1/(24 L B^2)``.
+* :func:`theorem6_iterations` — ``T = O(Delta / (rho * eps))``.
+* :func:`minimum_mu_for_positive_rho` — numeric search for the smallest µ
+  that makes Theorem 4's decrease coefficient positive.
+
+All functions operate on plain floats so they can be used with either
+assumed constants or the empirical estimates from
+:mod:`repro.theory.estimation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def rho(
+    mu: float,
+    K: int,
+    gamma: float,
+    B: float,
+    L: float,
+    L_minus: float = 0.0,
+) -> float:
+    """Theorem 4's expected-decrease coefficient ``rho``.
+
+    Parameters
+    ----------
+    mu:
+        Proximal coefficient (must exceed ``L_minus``).
+    K:
+        Devices selected per round.
+    gamma:
+        Uniform local inexactness in [0, 1].
+    B:
+        Dissimilarity bound (Definition 3 / Assumption 1), ``B >= 1``.
+    L:
+        Lipschitz-smoothness constant of the local objectives.
+    L_minus:
+        Lower curvature bound (``∇²F_k ⪰ -L_minus I``); 0 for convex
+        objectives.
+
+    Returns
+    -------
+    float
+        ``rho``; training is guaranteed to make progress when positive.
+
+    Raises
+    ------
+    ValueError
+        If ``mu <= L_minus`` (Theorem 4 requires ``mu_bar > 0``) or any
+        argument is out of range.
+    """
+    if mu <= L_minus:
+        raise ValueError(
+            f"Theorem 4 requires mu > L_minus (mu_bar > 0); got mu={mu}, "
+            f"L_minus={L_minus}"
+        )
+    if K < 1:
+        raise ValueError("K must be at least 1")
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError("gamma must be in [0, 1]")
+    if B < 0 or L < 0 or L_minus < 0:
+        raise ValueError("B, L and L_minus must be non-negative")
+
+    mu_bar = mu - L_minus
+    one_plus_gamma = 1.0 + gamma
+    return (
+        1.0 / mu
+        - gamma * B / mu
+        - B * one_plus_gamma * math.sqrt(2.0) / (mu_bar * math.sqrt(K))
+        - L * B * one_plus_gamma / (mu_bar * mu)
+        - L * one_plus_gamma**2 * B**2 / (2.0 * mu_bar**2)
+        - L * B**2 * one_plus_gamma**2 * (2.0 * math.sqrt(2.0 * K) + 2.0)
+        / (mu_bar**2 * K)
+    )
+
+
+@dataclass(frozen=True)
+class Remark5Check:
+    """Outcome of the Remark 5 sanity conditions.
+
+    Attributes
+    ----------
+    gamma_b:
+        The product ``gamma * B`` (must be < 1).
+    b_over_sqrt_k:
+        ``B / sqrt(K)`` (must be < 1).
+    satisfied:
+        True when both conditions hold.
+    """
+
+    gamma_b: float
+    b_over_sqrt_k: float
+
+    @property
+    def satisfied(self) -> bool:
+        return self.gamma_b < 1.0 and self.b_over_sqrt_k < 1.0
+
+
+def remark5_conditions(gamma: float, B: float, K: int) -> Remark5Check:
+    """Remark 5: necessary conditions for ``rho > 0``.
+
+    ``gamma * B < 1`` bounds how inexact local solves may be relative to the
+    dissimilarity; ``B < sqrt(K)`` bounds dissimilarity relative to the
+    per-round participation.
+    """
+    if K < 1:
+        raise ValueError("K must be at least 1")
+    return Remark5Check(gamma_b=gamma * B, b_over_sqrt_k=B / math.sqrt(K))
+
+
+def corollary7_mu(L: float, B: float) -> float:
+    """Corollary 7's convex-case proximal coefficient ``mu ~ 6 L B^2``."""
+    if L <= 0 or B <= 0:
+        raise ValueError("L and B must be positive")
+    return 6.0 * L * B**2
+
+
+def corollary7_rho(L: float, B: float) -> float:
+    """Corollary 7's convex-case decrease coefficient ``rho ~ 1/(24 L B^2)``."""
+    if L <= 0 or B <= 0:
+        raise ValueError("L and B must be positive")
+    return 1.0 / (24.0 * L * B**2)
+
+
+def theorem6_iterations(delta: float, rho_value: float, epsilon: float) -> int:
+    """Theorem 6's iteration count ``T = Delta / (rho * eps)``.
+
+    Parameters
+    ----------
+    delta:
+        Initial optimality gap ``f(w0) - f*``.
+    rho_value:
+        A positive decrease coefficient from :func:`rho`.
+    epsilon:
+        Target mean-squared-gradient accuracy.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if rho_value <= 0:
+        raise ValueError("rho must be positive (Theorem 4 not satisfied)")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return math.ceil(delta / (rho_value * epsilon))
+
+
+def minimum_mu_for_positive_rho(
+    K: int,
+    gamma: float,
+    B: float,
+    L: float,
+    L_minus: float = 0.0,
+    mu_max: float = 1e6,
+    tolerance: float = 1e-6,
+) -> float:
+    """A ``mu`` on the boundary of the region where ``rho(mu) > 0``.
+
+    ``rho`` tends to ``-inf`` as ``mu`` approaches ``L_minus`` from above
+    and to ``0`` as ``mu -> inf`` (from the positive side when the
+    parameters admit progress at all), so bisection between a non-positive
+    and a positive evaluation finds a threshold ``mu`` just inside the
+    positive region.  Remark 5's conditions are necessary but not
+    sufficient; when no ``mu <= mu_max`` yields ``rho > 0`` a
+    :class:`ValueError` is raised.
+
+    Parameters
+    ----------
+    K, gamma, B, L, L_minus:
+        As in :func:`rho`.
+    mu_max:
+        Upper limit of the search interval.
+    tolerance:
+        Absolute precision of the returned ``mu``.
+    """
+    check = remark5_conditions(gamma, B, K)
+    if not check.satisfied:
+        raise ValueError(
+            "Remark 5 conditions violated "
+            f"(gamma*B={check.gamma_b:.3f}, B/sqrt(K)={check.b_over_sqrt_k:.3f}); "
+            "no mu yields rho > 0"
+        )
+    low = L_minus + tolerance
+    high = mu_max
+    if rho(high, K, gamma, B, L, L_minus) <= 0:
+        raise ValueError(
+            f"rho is non-positive even at mu={mu_max}; increase mu_max or "
+            "reduce gamma/B"
+        )
+    # rho(low) may already be positive for tiny problems.
+    if rho(low, K, gamma, B, L, L_minus) > 0:
+        return low
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if rho(mid, K, gamma, B, L, L_minus) > 0:
+            high = mid
+        else:
+            low = mid
+    return high

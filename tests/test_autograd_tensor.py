@@ -1,0 +1,219 @@
+"""Tests for the Tensor class and backward-pass mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, ops, unbroadcast
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_int_data_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert np.issubdtype(t.data.dtype, np.floating)
+
+    def test_float32_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.data.dtype == np.float32
+
+    def test_scalar(self):
+        t = Tensor(3.5)
+        assert t.shape == ()
+        assert t.item() == 3.5
+
+    def test_nested_tensor_unwrapped(self):
+        inner = Tensor([1.0, 2.0])
+        outer = Tensor(inner)
+        assert isinstance(outer.data, np.ndarray)
+        np.testing.assert_array_equal(outer.data, inner.data)
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_repr_mentions_shape_and_grad(self):
+        t = Tensor(np.zeros((2, 3)), requires_grad=True)
+        assert "(2, 3)" in repr(t)
+        assert "requires_grad" in repr(t)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_size_and_ndim(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.size == 6
+        assert t.ndim == 2
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_seeds_one(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = ops.mul(x, x)
+        y.backward()
+        assert x.grad == pytest.approx(4.0)
+
+    def test_nonscalar_backward_requires_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = ops.mul(x, x)
+        with pytest.raises(ValueError, match="non-scalar"):
+            y.backward()
+
+    def test_explicit_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = ops.mul(x, x)
+        y.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 40.0])
+
+    def test_seed_shape_mismatch_rejected(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = ops.mul(x, x)
+        with pytest.raises(ValueError, match="seed gradient shape"):
+            y.backward(np.zeros(3))
+
+    def test_gradient_accumulates_across_uses(self):
+        # x used twice: d/dx (x*x + x) = 2x + 1
+        x = Tensor(3.0, requires_grad=True)
+        y = ops.add(ops.mul(x, x), x)
+        y.backward()
+        assert x.grad == pytest.approx(7.0)
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        x = Tensor(3.0, requires_grad=True)
+        for _ in range(2):
+            y = ops.mul(x, x)
+            y.backward()
+        assert x.grad == pytest.approx(12.0)
+
+    def test_zero_grad(self):
+        x = Tensor(3.0, requires_grad=True)
+        ops.mul(x, x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_visited_once(self):
+        # y = (x+x) * (x+x); dy/dx = 8x
+        x = Tensor(2.0, requires_grad=True)
+        s = ops.add(x, x)
+        y = ops.mul(s, s)
+        y.backward()
+        assert x.grad == pytest.approx(16.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = ops.add(y, 0.0)
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_constants_collect_no_grad(self):
+        x = Tensor(1.0, requires_grad=True)
+        c = Tensor(2.0)  # constant
+        y = ops.mul(x, c)
+        y.backward()
+        assert c.grad is None
+        assert x.grad == pytest.approx(2.0)
+
+    def test_no_grad_graph_not_built_for_constants(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        out = ops.add(a, b)
+        assert out._parents == ()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = ops.mul(x, x).detach()
+        z = ops.mul(y, y)
+        z.backward()
+        assert x.grad is None
+
+    def test_numpy_returns_underlying_array(self):
+        x = Tensor([1.0, 2.0])
+        assert x.numpy() is x.data
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axis(self):
+        g = np.ones((4, 3))
+        out = unbroadcast(g, (3,))
+        np.testing.assert_array_equal(out, np.full(3, 4.0))
+
+    def test_sums_size_one_axis(self):
+        g = np.ones((4, 3))
+        out = unbroadcast(g, (4, 1))
+        np.testing.assert_array_equal(out, np.full((4, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 2))
+        out = unbroadcast(g, ())
+        assert out == pytest.approx(4.0)
+
+    def test_mixed_axes(self):
+        g = np.ones((5, 4, 3))
+        out = unbroadcast(g, (1, 3))
+        np.testing.assert_array_equal(out, np.full((1, 3), 20.0))
+
+
+class TestOperatorOverloads:
+    def test_add_radd(self):
+        x = Tensor([1.0, 2.0])
+        np.testing.assert_array_equal((x + 1.0).data, [2.0, 3.0])
+        np.testing.assert_array_equal((1.0 + x).data, [2.0, 3.0])
+
+    def test_sub_rsub(self):
+        x = Tensor([1.0, 2.0])
+        np.testing.assert_array_equal((x - 1.0).data, [0.0, 1.0])
+        np.testing.assert_array_equal((3.0 - x).data, [2.0, 1.0])
+
+    def test_mul_rmul(self):
+        x = Tensor([1.0, 2.0])
+        np.testing.assert_array_equal((x * 2.0).data, [2.0, 4.0])
+        np.testing.assert_array_equal((2.0 * x).data, [2.0, 4.0])
+
+    def test_div_rdiv(self):
+        x = Tensor([1.0, 2.0])
+        np.testing.assert_array_equal((x / 2.0).data, [0.5, 1.0])
+        np.testing.assert_array_equal((2.0 / x).data, [2.0, 1.0])
+
+    def test_neg(self):
+        np.testing.assert_array_equal((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_array_equal((Tensor([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor([[1.0], [2.0]])
+        np.testing.assert_array_equal((a @ b).data, [[1.0], [2.0]])
+
+    def test_getitem(self):
+        x = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(x[0].data, [1.0, 2.0])
+
+    def test_T_property(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        assert x.T.shape == (3, 2)
+
+    def test_method_chaining(self):
+        x = Tensor(np.full((2, 2), 0.5), requires_grad=True)
+        out = x.tanh().sum()
+        out.backward()
+        assert x.grad is not None
+        assert x.grad.shape == (2, 2)
+
+
+def test_as_tensor_passthrough():
+    t = Tensor([1.0])
+    assert as_tensor(t) is t
+
+
+def test_as_tensor_wraps_array():
+    out = as_tensor(np.array([1.0, 2.0]))
+    assert isinstance(out, Tensor)

@@ -1,0 +1,96 @@
+"""Tests for the adaptive-µ controller (Section 5.3.2 heuristic)."""
+
+import pytest
+
+from repro.core import AdaptiveMuController
+
+
+class TestAdaptiveMu:
+    def test_first_observation_changes_nothing(self):
+        c = AdaptiveMuController(initial_mu=0.5)
+        assert c.update(1.0) == 0.5
+
+    def test_loss_increase_raises_mu(self):
+        c = AdaptiveMuController(initial_mu=0.0)
+        c.update(1.0)
+        assert c.update(1.5) == pytest.approx(0.1)
+
+    def test_consecutive_increases_keep_raising(self):
+        c = AdaptiveMuController(initial_mu=0.0)
+        c.update(1.0)
+        for i in range(5):
+            c.update(1.1 + 0.1 * i)
+        assert c.mu == pytest.approx(0.5)
+
+    def test_decrease_requires_patience(self):
+        c = AdaptiveMuController(initial_mu=1.0, patience=5)
+        losses = [10.0, 9.0, 8.0, 7.0, 6.0]  # 4 decreasing transitions
+        for loss in losses:
+            c.update(loss)
+        assert c.mu == pytest.approx(1.0)  # not yet
+        c.update(5.0)  # 5th consecutive decrease
+        assert c.mu == pytest.approx(0.9)
+
+    def test_streak_resets_on_increase(self):
+        c = AdaptiveMuController(initial_mu=1.0, patience=3)
+        for loss in [10.0, 9.0, 8.0]:
+            c.update(loss)  # streak = 2
+        c.update(9.5)  # increase: mu -> 1.1, streak reset
+        assert c.mu == pytest.approx(1.1)
+        for loss in [9.0, 8.5]:
+            c.update(loss)
+        assert c.mu == pytest.approx(1.1)  # streak only 2 again
+        c.update(8.0)
+        assert c.mu == pytest.approx(1.0)
+
+    def test_streak_resets_after_decrease_applied(self):
+        c = AdaptiveMuController(initial_mu=1.0, patience=2)
+        for loss in [10.0, 9.0, 8.0]:
+            c.update(loss)
+        assert c.mu == pytest.approx(0.9)
+        c.update(7.0)  # streak restarted: only 1 decrease so far
+        assert c.mu == pytest.approx(0.9)
+        c.update(6.0)
+        assert c.mu == pytest.approx(0.8)
+
+    def test_equal_loss_resets_streak(self):
+        c = AdaptiveMuController(initial_mu=1.0, patience=2)
+        c.update(5.0)
+        c.update(4.0)
+        c.update(4.0)  # plateau
+        c.update(3.0)
+        assert c.mu == pytest.approx(1.0)  # plateau broke the streak
+
+    def test_mu_clamped_at_min(self):
+        c = AdaptiveMuController(initial_mu=0.05, patience=1, mu_min=0.0)
+        c.update(2.0)
+        c.update(1.0)
+        assert c.mu == pytest.approx(0.0)
+        c.update(0.5)
+        assert c.mu == 0.0  # no underflow
+
+    def test_mu_clamped_at_max(self):
+        c = AdaptiveMuController(initial_mu=0.95, mu_max=1.0)
+        c.update(1.0)
+        c.update(2.0)
+        c.update(3.0)
+        assert c.mu == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial_mu": -0.1},
+            {"initial_mu": 0.5, "step": 0.0},
+            {"initial_mu": 0.5, "patience": 0},
+            {"initial_mu": 5.0, "mu_max": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveMuController(**kwargs)
+
+    def test_paper_configuration(self):
+        """Default step/patience match the paper: 0.1 and 5."""
+        c = AdaptiveMuController(initial_mu=1.0)
+        assert c.step == 0.1
+        assert c.patience == 5

@@ -1,0 +1,98 @@
+"""Tests for the FedDane baseline (gradient-corrected subproblem)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedDaneTrainer, make_feddane
+from repro.models import MultinomialLogisticRegression
+from repro.optim import SGDSolver
+
+
+def _trainer(dataset, mu=0.0, gradient_clients=None, seed=0, **kwargs):
+    model = MultinomialLogisticRegression(dim=6, num_classes=3)
+    return FedDaneTrainer(
+        dataset=dataset,
+        model=model,
+        solver=SGDSolver(0.1, batch_size=8),
+        mu=mu,
+        clients_per_round=3,
+        epochs=3,
+        seed=seed,
+        gradient_clients=gradient_clients,
+        **kwargs,
+    )
+
+
+class TestFedDane:
+    def test_runs_and_records(self, toy_dataset):
+        history = _trainer(toy_dataset).run(4)
+        assert len(history) == 4
+        assert all(np.isfinite(r.train_loss) for r in history.records)
+
+    def test_default_gradient_clients_equals_k(self, toy_dataset):
+        trainer = _trainer(toy_dataset)
+        assert trainer.gradient_clients == 3
+
+    def test_gradient_clients_override(self, toy_dataset):
+        trainer = _trainer(toy_dataset, gradient_clients=6)
+        assert trainer.gradient_clients == 6
+
+    def test_gradient_clients_validation(self, toy_dataset):
+        with pytest.raises(ValueError):
+            _trainer(toy_dataset, gradient_clients=0)
+        with pytest.raises(ValueError):
+            _trainer(toy_dataset, gradient_clients=100)
+
+    def test_describe(self, toy_dataset):
+        assert "FedDane" in _trainer(toy_dataset, mu=1.0).describe()
+
+    def test_gradient_estimate_full_participation_is_global_gradient(self, toy_dataset):
+        """With c = N, the estimate equals the exact global gradient."""
+        trainer = _trainer(toy_dataset, gradient_clients=toy_dataset.num_devices)
+        estimate = trainer._estimate_global_gradient(0)
+        masses = toy_dataset.sample_fractions()
+        exact = sum(
+            m * trainer.clients[i].train_gradient(trainer.w)
+            for i, m in enumerate(masses)
+        )
+        np.testing.assert_allclose(estimate, exact)
+
+    def test_correction_cancels_for_single_client_full_estimate(self, toy_dataset):
+        """If the estimate were the client's own gradient, the correction
+        is zero and FedDane reduces to FedProx on that client."""
+        trainer = _trainer(toy_dataset)
+        g = trainer.clients[0].train_gradient(trainer.w)
+        correction = g - g
+        np.testing.assert_array_equal(correction, np.zeros_like(g))
+
+    def test_deterministic(self, toy_dataset):
+        h1 = _trainer(toy_dataset, seed=4).run(3)
+        h2 = _trainer(toy_dataset, seed=4).run(3)
+        np.testing.assert_array_equal(h1.train_losses, h2.train_losses)
+
+    def test_differs_from_fedprox(self, toy_dataset):
+        """The correction must change the trajectory (unless degenerate)."""
+        from repro.core import FederatedTrainer
+
+        dane = _trainer(toy_dataset, seed=1).run(3)
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        prox = FederatedTrainer(
+            dataset=toy_dataset,
+            model=model,
+            solver=SGDSolver(0.1, batch_size=8),
+            mu=0.0,
+            clients_per_round=3,
+            epochs=3,
+            seed=1,
+        ).run(3)
+        assert dane.train_losses != prox.train_losses
+
+    def test_factory(self, toy_dataset):
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        trainer = make_feddane(
+            toy_dataset, model, learning_rate=0.1, mu=1.0,
+            clients_per_round=3, gradient_clients=4,
+        )
+        assert isinstance(trainer, FedDaneTrainer)
+        assert trainer.mu == 1.0
+        assert trainer.gradient_clients == 4

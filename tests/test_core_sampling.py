@@ -1,0 +1,124 @@
+"""Tests for the two device sampling / aggregation schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core import UniformSamplingWeightedAverage, WeightedSamplingSimpleAverage
+
+
+class TestUniformSamplingWeightedAverage:
+    def test_selects_requested_count(self, toy_dataset):
+        scheme = UniformSamplingWeightedAverage(toy_dataset, 3, seed=0)
+        assert len(scheme.select(0)) == 3
+
+    def test_no_replacement(self, toy_dataset):
+        scheme = UniformSamplingWeightedAverage(toy_dataset, 5, seed=0)
+        for r in range(10):
+            chosen = scheme.select(r)
+            assert len(set(chosen)) == len(chosen)
+
+    def test_deterministic_per_round(self, toy_dataset):
+        a = UniformSamplingWeightedAverage(toy_dataset, 3, seed=4)
+        b = UniformSamplingWeightedAverage(toy_dataset, 3, seed=4)
+        for r in range(5):
+            assert a.select(r) == b.select(r)
+
+    def test_varies_across_rounds(self, toy_dataset):
+        scheme = UniformSamplingWeightedAverage(toy_dataset, 3, seed=0)
+        selections = {tuple(scheme.select(r)) for r in range(10)}
+        assert len(selections) > 1
+
+    def test_aggregate_weights_by_sample_count(self, toy_dataset):
+        scheme = UniformSamplingWeightedAverage(toy_dataset, 2, seed=0)
+        n0 = toy_dataset[0].num_train
+        n1 = toy_dataset[1].num_train
+        w0, w1 = np.zeros(4), np.ones(4)
+        out = scheme.aggregate([(0, w0), (1, w1)], np.full(4, -1.0))
+        expected = n1 / (n0 + n1)
+        np.testing.assert_allclose(out, np.full(4, expected))
+
+    def test_aggregate_empty_returns_previous(self, toy_dataset):
+        scheme = UniformSamplingWeightedAverage(toy_dataset, 2, seed=0)
+        prev = np.arange(4.0)
+        out = scheme.aggregate([], prev)
+        np.testing.assert_array_equal(out, prev)
+
+    def test_aggregate_single_update(self, toy_dataset):
+        scheme = UniformSamplingWeightedAverage(toy_dataset, 2, seed=0)
+        w = np.arange(4.0)
+        np.testing.assert_allclose(scheme.aggregate([(2, w)], np.zeros(4)), w)
+
+    def test_invalid_k_rejected(self, toy_dataset):
+        with pytest.raises(ValueError):
+            UniformSamplingWeightedAverage(toy_dataset, 0)
+        with pytest.raises(ValueError):
+            UniformSamplingWeightedAverage(toy_dataset, toy_dataset.num_devices + 1)
+
+
+class TestWeightedSamplingSimpleAverage:
+    def test_selects_requested_count_with_replacement(self, toy_dataset):
+        scheme = WeightedSamplingSimpleAverage(toy_dataset, 4, seed=0)
+        assert len(scheme.select(0)) == 4
+
+    def test_sampling_tracks_masses(self, toy_dataset):
+        """Devices with more samples should be selected more often."""
+        scheme = WeightedSamplingSimpleAverage(toy_dataset, 3, seed=0)
+        counts = np.zeros(toy_dataset.num_devices)
+        for r in range(400):
+            for cid in scheme.select(r):
+                counts[cid] += 1
+        fractions = toy_dataset.sample_fractions()
+        empirical = counts / counts.sum()
+        np.testing.assert_allclose(empirical, fractions, atol=0.05)
+
+    def test_simple_average(self, toy_dataset):
+        scheme = WeightedSamplingSimpleAverage(toy_dataset, 2, seed=0)
+        out = scheme.aggregate(
+            [(0, np.zeros(3)), (1, np.ones(3))], np.full(3, 9.0)
+        )
+        np.testing.assert_allclose(out, np.full(3, 0.5))
+
+    def test_duplicates_counted_twice(self, toy_dataset):
+        scheme = WeightedSamplingSimpleAverage(toy_dataset, 3, seed=0)
+        out = scheme.aggregate(
+            [(0, np.ones(2)), (0, np.ones(2)), (1, np.full(2, 4.0))],
+            np.zeros(2),
+        )
+        np.testing.assert_allclose(out, np.full(2, 2.0))
+
+    def test_deterministic(self, toy_dataset):
+        a = WeightedSamplingSimpleAverage(toy_dataset, 3, seed=1)
+        b = WeightedSamplingSimpleAverage(toy_dataset, 3, seed=1)
+        assert a.select(7) == b.select(7)
+
+    def test_aggregate_empty_returns_previous(self, toy_dataset):
+        scheme = WeightedSamplingSimpleAverage(toy_dataset, 2, seed=0)
+        prev = np.arange(3.0)
+        np.testing.assert_array_equal(scheme.aggregate([], prev), prev)
+
+
+class TestAggregationProperties:
+    def test_weighted_average_permutation_invariant(self, toy_dataset):
+        scheme = UniformSamplingWeightedAverage(toy_dataset, 3, seed=0)
+        updates = [(0, np.array([1.0, 0.0])), (1, np.array([0.0, 2.0])), (2, np.array([3.0, 3.0]))]
+        a = scheme.aggregate(updates, np.zeros(2))
+        b = scheme.aggregate(list(reversed(updates)), np.zeros(2))
+        np.testing.assert_allclose(a, b)
+
+    def test_average_within_convex_hull(self, toy_dataset):
+        """Both schemes produce coordinates inside [min, max] of the inputs."""
+        rng = np.random.default_rng(0)
+        updates = [(i, rng.normal(size=5)) for i in range(4)]
+        stacked = np.stack([w for _, w in updates])
+        for scheme_cls in (UniformSamplingWeightedAverage, WeightedSamplingSimpleAverage):
+            scheme = scheme_cls(toy_dataset, 2, seed=0)
+            out = scheme.aggregate(updates, np.zeros(5))
+            assert np.all(out >= stacked.min(axis=0) - 1e-12)
+            assert np.all(out <= stacked.max(axis=0) + 1e-12)
+
+    def test_identical_updates_are_fixed_point(self, toy_dataset):
+        w = np.arange(5.0)
+        for scheme_cls in (UniformSamplingWeightedAverage, WeightedSamplingSimpleAverage):
+            scheme = scheme_cls(toy_dataset, 2, seed=0)
+            out = scheme.aggregate([(0, w), (1, w), (2, w)], np.zeros(5))
+            np.testing.assert_allclose(out, w)

@@ -1,0 +1,134 @@
+"""Tests for LEAF-format import/export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_leaf, make_synthetic, save_leaf
+
+
+def _write_leaf(path, users):
+    payload = {
+        "users": list(users),
+        "num_samples": [len(users[u]["y"]) for u in users],
+        "user_data": users,
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadLeaf:
+    def test_basic_load(self, tmp_path):
+        train = _write_leaf(
+            tmp_path / "train.json",
+            {
+                "u0": {"x": [[0.0, 1.0], [2.0, 3.0]], "y": [0, 1]},
+                "u1": {"x": [[4.0, 5.0]], "y": [2]},
+            },
+        )
+        ds = load_leaf(train, name="mini")
+        assert ds.num_devices == 2
+        assert ds.num_classes == 3
+        assert ds[0].num_train == 2
+        assert ds[1].num_train == 1
+        np.testing.assert_array_equal(ds[1].train_x, [[4.0, 5.0]])
+
+    def test_with_test_split(self, tmp_path):
+        train = _write_leaf(
+            tmp_path / "train.json",
+            {"u0": {"x": [[1.0], [2.0]], "y": [0, 1]}},
+        )
+        test = _write_leaf(
+            tmp_path / "test.json",
+            {"u0": {"x": [[3.0]], "y": [1]}},
+        )
+        ds = load_leaf(train, test)
+        assert ds[0].num_test == 1
+        np.testing.assert_array_equal(ds[0].test_x, [[3.0]])
+
+    def test_user_missing_from_test_gets_empty(self, tmp_path):
+        train = _write_leaf(
+            tmp_path / "train.json",
+            {
+                "u0": {"x": [[1.0]], "y": [0]},
+                "u1": {"x": [[2.0]], "y": [1]},
+            },
+        )
+        test = _write_leaf(
+            tmp_path / "test.json", {"u0": {"x": [[9.0]], "y": [0]}}
+        )
+        ds = load_leaf(train, test)
+        assert ds[1].num_test == 0
+
+    def test_integer_dtype_for_tokens(self, tmp_path):
+        train = _write_leaf(
+            tmp_path / "train.json",
+            {"u0": {"x": [[1, 2, 3], [4, 5, 6]], "y": [0, 1]}},
+        )
+        ds = load_leaf(train, x_dtype=np.int64)
+        assert np.issubdtype(ds[0].train_x.dtype, np.integer)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"num_samples": [], "user_data": {}},  # missing users
+            {"users": ["u0"], "num_samples": [], "user_data": {}},  # mismatch
+            {"users": ["u0"], "num_samples": [1], "user_data": {}},  # no entry
+            {
+                "users": ["u0"],
+                "num_samples": [1],
+                "user_data": {"u0": {"x": [[1.0]]}},  # missing y
+            },
+            {
+                "users": ["u0"],
+                "num_samples": [1],
+                "user_data": {"u0": {"x": [[1.0], [2.0]], "y": [0]}},  # x/y
+            },
+        ],
+    )
+    def test_malformed_payloads_rejected(self, tmp_path, payload):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_leaf(path)
+
+
+class TestSaveLeaf:
+    def test_roundtrip(self, tmp_path):
+        original = make_synthetic(0.5, 0.5, num_devices=4, seed=0, size_cap=40)
+        save_leaf(original, tmp_path / "train.json", tmp_path / "test.json")
+        restored = load_leaf(tmp_path / "train.json", tmp_path / "test.json")
+
+        assert restored.num_devices == original.num_devices
+        for a, b in zip(original, restored):
+            np.testing.assert_allclose(a.train_x, b.train_x)
+            np.testing.assert_array_equal(a.train_y, b.train_y)
+            np.testing.assert_allclose(a.test_x, b.test_x)
+
+    def test_leaf_naming_convention(self, tmp_path):
+        ds = make_synthetic(0.0, 0.0, num_devices=3, seed=0, size_cap=30)
+        save_leaf(ds, tmp_path / "train.json")
+        payload = json.loads((tmp_path / "train.json").read_text())
+        assert payload["users"] == ["f_00000", "f_00001", "f_00002"]
+        assert payload["num_samples"] == [c.num_train for c in ds]
+
+    def test_export_is_valid_leaf(self, tmp_path):
+        """Whatever we write must pass our own validation on reload."""
+        ds = make_synthetic(1.0, 1.0, num_devices=3, seed=1, size_cap=30)
+        save_leaf(ds, tmp_path / "train.json", tmp_path / "test.json")
+        load_leaf(tmp_path / "train.json", tmp_path / "test.json")  # no raise
+
+    def test_trains_after_import(self, tmp_path):
+        from repro.core import make_fedprox
+        from repro.models import MultinomialLogisticRegression
+
+        ds = make_synthetic(1.0, 1.0, num_devices=6, seed=2, size_cap=60)
+        save_leaf(ds, tmp_path / "train.json", tmp_path / "test.json")
+        loaded = load_leaf(tmp_path / "train.json", tmp_path / "test.json")
+
+        model = MultinomialLogisticRegression(dim=60, num_classes=10)
+        history = make_fedprox(
+            loaded, model, 0.01, mu=1.0, clients_per_round=3, epochs=3, seed=0,
+        ).run(5)
+        assert history.final_train_loss() < history.train_losses[0]

@@ -1,0 +1,115 @@
+"""Tests for partitioners: size laws and label-skew assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    assign_classes_per_device,
+    iid_partition,
+    lognormal_sizes,
+    power_law_sizes,
+)
+
+
+class TestLognormalSizes:
+    def test_minimum_respected(self, rng):
+        sizes = lognormal_sizes(rng, 100, minimum=50)
+        assert sizes.min() >= 50
+
+    def test_cap_respected(self, rng):
+        sizes = lognormal_sizes(rng, 100, minimum=10, cap=200)
+        assert sizes.max() <= 200
+
+    def test_heavy_tail_without_cap(self, rng):
+        sizes = lognormal_sizes(rng, 500, minimum=0)
+        assert sizes.max() > 10 * np.median(sizes)
+
+    def test_count(self, rng):
+        assert len(lognormal_sizes(rng, 37)) == 37
+
+
+class TestPowerLawSizes:
+    def test_sum_exact(self, rng):
+        sizes = power_law_sizes(rng, 50, total_samples=2000)
+        assert sizes.sum() == 2000
+
+    def test_minimum_respected(self, rng):
+        sizes = power_law_sizes(rng, 50, total_samples=2000, minimum=5)
+        assert sizes.min() >= 5
+
+    def test_skewed(self, rng):
+        sizes = power_law_sizes(rng, 100, total_samples=10_000, alpha=1.5)
+        assert sizes.max() > 5 * np.median(sizes)
+
+    def test_rejects_infeasible_total(self, rng):
+        with pytest.raises(ValueError):
+            power_law_sizes(rng, 100, total_samples=50, minimum=2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        devices=st.integers(2, 40),
+        per_device=st.integers(3, 50),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_sum_and_minimum(self, devices, per_device, seed):
+        gen = np.random.default_rng(seed)
+        total = devices * per_device
+        sizes = power_law_sizes(gen, devices, total_samples=total, minimum=2)
+        assert sizes.sum() == total
+        assert sizes.min() >= 2
+        assert len(sizes) == devices
+
+
+class TestClassAssignment:
+    def test_each_device_gets_exact_count(self, rng):
+        assignments = assign_classes_per_device(rng, 20, 10, 2)
+        assert all(len(a) == 2 for a in assignments)
+
+    def test_classes_within_range(self, rng):
+        assignments = assign_classes_per_device(rng, 50, 10, 5)
+        for a in assignments:
+            assert a.min() >= 0 and a.max() < 10
+
+    def test_all_classes_covered_with_enough_devices(self, rng):
+        assignments = assign_classes_per_device(rng, 30, 10, 2)
+        covered = set()
+        for a in assignments:
+            covered.update(a.tolist())
+        assert covered == set(range(10))
+
+    def test_classes_unique_per_device(self, rng):
+        assignments = assign_classes_per_device(rng, 15, 10, 5)
+        for a in assignments:
+            assert len(set(a.tolist())) == len(a)
+
+    def test_too_many_classes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            assign_classes_per_device(rng, 5, 3, 4)
+
+    def test_full_assignment_allowed(self, rng):
+        assignments = assign_classes_per_device(rng, 3, 4, 4)
+        for a in assignments:
+            np.testing.assert_array_equal(a, [0, 1, 2, 3])
+
+
+class TestIIDPartition:
+    def test_covers_all_samples_once(self, rng):
+        parts = iid_partition(rng, 100, 7)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(100))
+
+    def test_balanced_sizes(self, rng):
+        parts = iid_partition(rng, 100, 7)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(10, 200), k=st.integers(1, 10), seed=st.integers(0, 100))
+    def test_property_partition(self, n, k, seed):
+        gen = np.random.default_rng(seed)
+        parts = iid_partition(gen, n, k)
+        assert len(parts) == k
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(n))

@@ -1,0 +1,50 @@
+"""Tests for the `python -m repro.experiments` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "table1" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_table1_smoke(self, capsys):
+        assert main(["table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 (reproduced" in out
+        assert "MNIST-like" in out
+
+    def test_table1_csv_output(self, tmp_path, capsys):
+        assert main(["table1", "--scale", "smoke", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+        content = (tmp_path / "table1.csv").read_text()
+        assert "MNIST-like" in content
+
+    def test_figure5_smoke_with_csv(self, tmp_path, capsys):
+        assert main(
+            ["figure5", "--scale", "smoke", "--out", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out
+        assert (tmp_path / "figure5_summary.csv").exists()
+        series = list((tmp_path / "figure5").glob("*.csv"))
+        assert len(series) == 4  # one per straggler level
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["figure99"])
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "giant"])
+
+    def test_seed_flag(self, capsys):
+        assert main(["table1", "--scale", "smoke", "--seed", "3"]) == 0

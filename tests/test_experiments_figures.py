@@ -1,0 +1,198 @@
+"""Structure tests for every figure/table runner (tiny configurations).
+
+These verify each experiment produces the right panels, methods and series —
+the *shape* checks of the actual results live in the benchmarks and
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    PAPER_TABLE1,
+    figure7_accuracy_rows,
+    figure7_improvement,
+    get_experiment,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4_bottom,
+    run_figure4_top,
+    run_figure5,
+    run_figure8,
+    run_figure9,
+    run_figure11,
+    run_figure12,
+    run_table1,
+)
+
+SYN = ["Synthetic(1,1)"]
+SYN2 = ["Synthetic-IID", "Synthetic(1,1)"]
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4-top",
+            "figure4-bottom",
+            "figure5",
+            "figure8",
+            "figure9",
+            "figure11",
+            "figure12",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_experiment(self):
+        assert get_experiment("figure1").runner is run_figure1
+        with pytest.raises(KeyError):
+            get_experiment("figure99")
+
+    def test_entries_have_descriptions(self):
+        assert all(e.description for e in EXPERIMENTS.values())
+
+
+class TestTable1:
+    def test_four_rows_in_paper_order(self):
+        rows = run_table1("smoke")
+        assert [r["Dataset"] for r in rows] == [
+            "MNIST-like",
+            "FEMNIST-like",
+            "Shakespeare-like",
+            "Sent140-like",
+        ]
+
+    def test_row_schema_matches_paper_table(self):
+        rows = run_table1("smoke")
+        assert set(rows[0]) == set(PAPER_TABLE1[0])
+
+    def test_smoke_scale_counts(self):
+        rows = run_table1("smoke")
+        mnist = rows[0]
+        assert mnist["Devices"] == 30
+        assert mnist["Samples"] == 900
+
+
+class TestFigure1Family:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1(
+            scale="smoke", datasets=SYN, straggler_levels=(0.0, 0.9), seed=0
+        )
+
+    def test_panel_grid(self, result):
+        assert len(result.panels) == 2
+        assert {p.environment for p in result.panels} == {
+            "0% stragglers",
+            "90% stragglers",
+        }
+
+    def test_three_methods_per_panel(self, result):
+        for panel in result.panels:
+            assert len(panel.histories) == 3
+            assert "FedAvg" in panel.histories
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure1(scale="smoke", datasets=["Bogus"])
+
+    def test_figure7_rows(self, result):
+        rows = figure7_accuracy_rows(result)
+        assert len(rows) == 2
+        assert all("FedAvg" in row for row in rows)
+
+    def test_figure7_improvement_computes(self, result):
+        value = figure7_improvement(result, level="90% stragglers")
+        assert -1.0 <= value <= 1.0
+
+    def test_figure7_improvement_missing_level(self, result):
+        with pytest.raises(ValueError):
+            figure7_improvement(result, level="33% stragglers")
+
+    def test_figure9_uses_e1(self):
+        result = run_figure9(scale="smoke", datasets=SYN)
+        assert result.figure_id == "figure9"
+        # With E=1, straggler budgets are fractional; the runs must be finite.
+        for panel in result.panels:
+            for h in panel.histories.values():
+                assert all(l == l for l in h.train_losses)  # no NaN
+
+
+class TestFigure2Family:
+    def test_figure2_panels_and_dissimilarity(self):
+        result = run_figure2(scale="smoke", datasets=SYN2, seed=0)
+        assert len(result.panels) == 2
+        for panel in result.panels:
+            assert len(panel.histories) == 2
+            for h in panel.histories.values():
+                assert any(d is not None for d in (r.dissimilarity for r in h.records))
+
+    def test_figure8_runs_on_synthetic_subset(self):
+        result = run_figure8(scale="smoke", datasets=["Synthetic(1,1)"])
+        assert len(result.panels) == 1
+        labels = list(result.panels[0].histories)
+        assert any("mu=0" in l for l in labels)
+        assert any("mu=1" in l for l in labels)
+
+
+class TestFigure3Family:
+    def test_figure3_methods(self):
+        result = run_figure3(scale="smoke", datasets=("Synthetic(1,1)",))
+        labels = list(result.panels[0].histories)
+        assert any("dynamic" in l for l in labels)
+        assert len(labels) == 3
+
+    def test_adaptive_mu_actually_moves(self):
+        result = run_figure3(scale="smoke", datasets=("Synthetic(1,1)",))
+        dynamic = next(
+            h for l, h in result.panels[0].histories.items() if "dynamic" in l
+        )
+        assert len(set(dynamic.mus)) >= 1  # recorded at every round
+
+    def test_figure11_covers_all_synthetic(self):
+        result = run_figure11(scale="smoke")
+        assert result.figure_id == "figure11"
+        assert len(result.panels) == 4
+
+
+class TestFigure4Family:
+    def test_top_methods(self):
+        result = run_figure4_top(scale="smoke", datasets=SYN)
+        labels = list(result.panels[0].histories)
+        assert labels == [
+            "mu=0, FedProx",
+            "mu=1, FedProx",
+            "mu=0, FedDane",
+            "mu=1, FedDane",
+        ]
+
+    def test_bottom_gradient_client_sweep(self):
+        result = run_figure4_bottom(
+            scale="smoke", datasets=SYN, gradient_client_counts=[5, 12]
+        )
+        labels = list(result.panels[0].histories)
+        assert "mu=0, c=5, FedDane" in labels
+        assert "mu=0, c=12, FedDane" in labels
+        assert "mu=0, FedProx" in labels
+
+
+class TestFigure5And12:
+    def test_figure5_levels(self):
+        result = run_figure5(scale="smoke", straggler_levels=(0.0, 0.5))
+        assert [p.environment for p in result.panels] == [
+            "0% stragglers",
+            "50% stragglers",
+        ]
+        for panel in result.panels:
+            assert set(panel.histories) == {"FedAvg", "FedProx (mu=0)"}
+
+    def test_figure12_scheme_grid(self):
+        result = run_figure12(scale="smoke", datasets=SYN)
+        labels = list(result.panels[0].histories)
+        assert len(labels) == 4  # 2 schemes x 2 mus
+        assert any("uniform sampling" in l for l in labels)
+        assert any("weighted sampling" in l for l in labels)

@@ -1,0 +1,161 @@
+"""Tests for the generic comparison runner and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingHistory
+from repro.core.feddane import FedDaneTrainer
+from repro.core.sampling import WeightedSamplingSimpleAverage
+from repro.experiments import (
+    SMOKE,
+    FigureResult,
+    MethodSpec,
+    PanelResult,
+    build_trainer,
+    figure1_methods,
+    run_methods,
+)
+from repro.experiments.configs import make_synthetic_workload
+from repro.systems.stragglers import NoHeterogeneity
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_synthetic_workload(SMOKE, 1.0, 1.0, seed=0)
+
+
+class TestMethodSpecs:
+    def test_figure1_methods(self):
+        methods = figure1_methods(0.01)
+        assert [m.label for m in methods] == [
+            "FedAvg",
+            "FedProx (mu=0)",
+            "FedProx (mu=0.01)",
+        ]
+        assert methods[0].drop_stragglers
+        assert not methods[1].drop_stragglers
+        assert methods[2].mu == 0.01
+
+
+class TestBuildTrainer:
+    def test_plain_trainer(self, workload):
+        spec = MethodSpec(label="x", mu=0.5)
+        trainer = build_trainer(spec, workload, SMOKE, NoHeterogeneity(), seed=0)
+        assert trainer.mu == 0.5
+        assert trainer.label == "x"
+        assert trainer.epochs == SMOKE.epochs
+
+    def test_feddane_trainer(self, workload):
+        spec = MethodSpec(label="d", feddane=True, gradient_clients=6)
+        trainer = build_trainer(spec, workload, SMOKE, NoHeterogeneity(), seed=0)
+        assert isinstance(trainer, FedDaneTrainer)
+        assert trainer.gradient_clients == 6
+
+    def test_adaptive_mu_trainer(self, workload):
+        spec = MethodSpec(label="a", adaptive_mu_from=1.0)
+        trainer = build_trainer(spec, workload, SMOKE, NoHeterogeneity(), seed=0)
+        assert trainer.mu_controller is not None
+        assert trainer.mu == 1.0
+
+    def test_sampling_factory_override(self, workload):
+        spec = MethodSpec(label="x")
+        trainer = build_trainer(
+            spec, workload, SMOKE, NoHeterogeneity(), seed=0,
+            sampling_factory=WeightedSamplingSimpleAverage,
+        )
+        assert isinstance(trainer.sampling, WeightedSamplingSimpleAverage)
+
+    def test_epochs_override(self, workload):
+        spec = MethodSpec(label="x")
+        trainer = build_trainer(
+            spec, workload, SMOKE, NoHeterogeneity(), seed=0, epochs=1.0
+        )
+        assert trainer.epochs == 1.0
+
+
+class TestRunMethods:
+    def test_returns_history_per_method(self, workload):
+        methods = [MethodSpec(label="a", mu=0.0), MethodSpec(label="b", mu=1.0)]
+        results = run_methods(workload, SMOKE, methods, rounds=3, seed=0)
+        assert list(results) == ["a", "b"]
+        assert all(isinstance(h, TrainingHistory) for h in results.values())
+        assert all(len(h) == 3 for h in results.values())
+
+    def test_straggler_fraction_produces_stragglers(self, workload):
+        methods = [MethodSpec(label="a", mu=0.0)]
+        results = run_methods(
+            workload, SMOKE, methods, straggler_fraction=0.9, rounds=2, seed=0
+        )
+        assert any(r.stragglers for r in results["a"].records)
+
+    def test_methods_share_environment(self, workload):
+        methods = [MethodSpec(label="a", mu=0.0), MethodSpec(label="b", mu=1.0)]
+        results = run_methods(
+            workload, SMOKE, methods, straggler_fraction=0.5, rounds=3, seed=0
+        )
+        for ra, rb in zip(results["a"].records, results["b"].records):
+            assert ra.selected == rb.selected
+            assert ra.stragglers == rb.stragglers
+
+    def test_track_dissimilarity(self, workload):
+        results = run_methods(
+            workload, SMOKE, [MethodSpec(label="a")], rounds=2, seed=0,
+            track_dissimilarity=True,
+        )
+        assert results["a"].records[0].dissimilarity is not None
+
+
+class TestResultContainers:
+    def _figure(self, workload):
+        histories = run_methods(
+            workload, SMOKE, [MethodSpec(label="m1"), MethodSpec(label="m2", mu=1.0)],
+            rounds=3, seed=0,
+        )
+        fig = FigureResult(figure_id="figX", description="test")
+        fig.panels.append(
+            PanelResult(dataset=workload.name, environment="0% stragglers", histories=histories)
+        )
+        return fig
+
+    def test_panel_lookup(self, workload):
+        fig = self._figure(workload)
+        panel = fig.panel(workload.name)
+        assert panel.environment == "0% stragglers"
+        with pytest.raises(KeyError):
+            fig.panel("nope")
+
+    def test_series_accessors(self, workload):
+        fig = self._figure(workload)
+        panel = fig.panels[0]
+        assert set(panel.loss_series()) == {"m1", "m2"}
+        assert len(panel.loss_series()["m1"]) == 3
+        assert len(panel.accuracy_series()["m2"]) == 3
+
+    def test_render_contains_methods(self, workload):
+        fig = self._figure(workload)
+        text = fig.render(metric="loss", charts=False)
+        assert "m1" in text and "m2" in text
+        assert "figX" in text
+
+    def test_render_accuracy_metric(self, workload):
+        fig = self._figure(workload)
+        assert "test accuracy" or "best" in fig.render(metric="accuracy")
+
+    def test_render_rejects_unknown_metric(self, workload):
+        fig = self._figure(workload)
+        with pytest.raises(ValueError):
+            fig.render(metric="wat")
+
+    def test_summary_rows(self, workload):
+        fig = self._figure(workload)
+        rows = fig.summary_rows()
+        assert len(rows) == 2
+        assert {r["method"] for r in rows} == {"m1", "m2"}
+        assert all(np.isfinite(r["final_loss"]) for r in rows)
+
+    def test_write_series_csv(self, workload, tmp_path):
+        fig = self._figure(workload)
+        paths = fig.write_series_csv(tmp_path)
+        assert len(paths) == 1
+        content = paths[0].read_text()
+        assert "m1 loss" in content

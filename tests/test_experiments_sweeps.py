@@ -1,0 +1,91 @@
+"""Tests for the hyperparameter sweep protocols."""
+
+import numpy as np
+import pytest
+
+from repro.core.fedprox import MU_GRID
+from repro.datasets import make_synthetic
+from repro.experiments import SweepResult, tune_learning_rate, tune_mu
+from repro.models import MultinomialLogisticRegression
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_synthetic(1.0, 1.0, num_devices=10, seed=0, size_cap=100)
+
+
+def model_factory():
+    return MultinomialLogisticRegression(dim=60, num_classes=10)
+
+
+class TestLearningRateSweep:
+    def test_sweep_covers_grid(self, dataset):
+        result = tune_learning_rate(
+            dataset, model_factory, grid=(0.001, 0.1), rounds=5,
+            clients_per_round=5, seed=0,
+        )
+        assert set(result.histories) == {0.001, 0.1}
+        assert result.best in (0.001, 0.1)
+
+    def test_best_has_lowest_final_loss(self, dataset):
+        result = tune_learning_rate(
+            dataset, model_factory, grid=(0.0001, 0.01, 0.1), rounds=8,
+            clients_per_round=5, seed=0,
+        )
+        losses = result.final_losses()
+        assert losses[result.best] == min(losses.values())
+
+    def test_reasonable_rate_beats_tiny_rate(self, dataset):
+        result = tune_learning_rate(
+            dataset, model_factory, grid=(1e-6, 0.05), rounds=10,
+            clients_per_round=5, seed=0,
+        )
+        assert result.best == 0.05
+
+    def test_empty_grid_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            tune_learning_rate(dataset, model_factory, grid=())
+
+    def test_deterministic(self, dataset):
+        a = tune_learning_rate(
+            dataset, model_factory, grid=(0.01, 0.1), rounds=4,
+            clients_per_round=5, seed=7,
+        )
+        b = tune_learning_rate(
+            dataset, model_factory, grid=(0.01, 0.1), rounds=4,
+            clients_per_round=5, seed=7,
+        )
+        assert a.final_losses() == b.final_losses()
+        assert a.best == b.best
+
+
+class TestMuSweep:
+    def test_default_grid_is_papers(self, dataset):
+        result = tune_mu(
+            dataset, model_factory, learning_rate=0.01, rounds=4,
+            epochs=5, clients_per_round=5, seed=0,
+        )
+        assert set(result.histories) == set(MU_GRID)
+
+    def test_runs_under_stragglers(self, dataset):
+        result = tune_mu(
+            dataset, model_factory, learning_rate=0.01, grid=(0.001, 1.0),
+            rounds=5, epochs=5, straggler_fraction=0.9,
+            clients_per_round=5, seed=0,
+        )
+        assert result.best in (0.001, 1.0)
+        assert all(
+            np.isfinite(h.final_train_loss()) for h in result.histories.values()
+        )
+
+    def test_empty_grid_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            tune_mu(dataset, model_factory, learning_rate=0.01, grid=())
+
+    def test_sweep_result_api(self, dataset):
+        result = tune_mu(
+            dataset, model_factory, learning_rate=0.01, grid=(0.1,),
+            rounds=3, epochs=3, clients_per_round=5, seed=0,
+        )
+        assert isinstance(result, SweepResult)
+        assert list(result.final_losses()) == [0.1]

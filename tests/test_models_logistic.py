@@ -1,0 +1,171 @@
+"""Tests for the closed-form multinomial logistic regression."""
+
+import numpy as np
+import pytest
+from scipy.special import log_softmax
+
+from repro.autograd import numeric_gradient
+from repro.models import MultinomialLogisticRegression
+
+
+def _problem(n=20, dim=5, classes=4, seed=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, dim))
+    y = rng.integers(classes, size=n)
+    return X, y
+
+
+class TestBasics:
+    def test_n_params(self):
+        m = MultinomialLogisticRegression(dim=5, num_classes=4)
+        assert m.n_params == 5 * 4 + 4
+
+    def test_zero_init_by_default(self):
+        m = MultinomialLogisticRegression(dim=3, num_classes=2)
+        np.testing.assert_array_equal(m.get_params(), np.zeros(m.n_params))
+
+    def test_random_init_when_requested(self):
+        m = MultinomialLogisticRegression(dim=3, num_classes=2, init_scale=0.1, seed=1)
+        assert np.abs(m.get_params()).sum() > 0
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialLogisticRegression(dim=0, num_classes=3)
+        with pytest.raises(ValueError):
+            MultinomialLogisticRegression(dim=3, num_classes=1)
+
+    def test_flat_roundtrip(self):
+        m = MultinomialLogisticRegression(dim=3, num_classes=2)
+        w = np.arange(float(m.n_params))
+        m.set_params(w)
+        np.testing.assert_array_equal(m.get_params(), w)
+
+    def test_set_params_wrong_size(self):
+        m = MultinomialLogisticRegression(dim=3, num_classes=2)
+        with pytest.raises(ValueError, match="expected"):
+            m.set_params(np.zeros(5))
+
+    def test_set_params_copies(self):
+        m = MultinomialLogisticRegression(dim=2, num_classes=2)
+        w = np.zeros(m.n_params)
+        m.set_params(w)
+        w[:] = 5.0
+        assert np.all(m.get_params() == 0.0)
+
+
+class TestLossAndGradient:
+    def test_zero_params_loss_is_log_classes(self):
+        X, y = _problem()
+        m = MultinomialLogisticRegression(dim=5, num_classes=4)
+        assert m.loss(X, y) == pytest.approx(np.log(4))
+
+    def test_loss_matches_scipy(self):
+        X, y = _problem()
+        m = MultinomialLogisticRegression(dim=5, num_classes=4, init_scale=0.5, seed=2)
+        scores = X @ m.W + m.b
+        expected = -log_softmax(scores, axis=1)[np.arange(len(y)), y].mean()
+        assert m.loss(X, y) == pytest.approx(expected)
+
+    def test_gradient_matches_numeric(self):
+        X, y = _problem(n=12, dim=4, classes=3)
+        m = MultinomialLogisticRegression(dim=4, num_classes=3, init_scale=0.3, seed=5)
+        w0 = m.get_params()
+
+        def f(w):
+            m.set_params(w)
+            return m.loss(X, y)
+
+        numeric = numeric_gradient(f, w0)
+        m.set_params(w0)
+        analytic = m.gradient(X, y)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_gradient_with_l2_matches_numeric(self):
+        X, y = _problem(n=10, dim=3, classes=3)
+        m = MultinomialLogisticRegression(
+            dim=3, num_classes=3, l2=0.1, init_scale=0.3, seed=5
+        )
+        w0 = m.get_params()
+
+        def f(w):
+            m.set_params(w)
+            return m.loss(X, y)
+
+        numeric = numeric_gradient(f, w0)
+        m.set_params(w0)
+        np.testing.assert_allclose(m.gradient(X, y), numeric, rtol=1e-5, atol=1e-7)
+
+    def test_loss_and_gradient_consistent(self):
+        X, y = _problem()
+        m = MultinomialLogisticRegression(dim=5, num_classes=4, init_scale=0.2, seed=1)
+        loss, grad = m.loss_and_gradient(X, y)
+        assert loss == pytest.approx(m.loss(X, y))
+        np.testing.assert_allclose(grad, m.gradient(X, y))
+
+    def test_gradient_descent_reduces_loss(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(50, 5))
+        y = (X @ rng.normal(size=(5, 4))).argmax(axis=1)  # separable labels
+        m = MultinomialLogisticRegression(dim=5, num_classes=4)
+        w = m.get_params()
+        initial = m.loss(X, y)
+        for _ in range(50):
+            m.set_params(w)
+            w = w - 0.5 * m.gradient(X, y)
+        m.set_params(w)
+        assert m.loss(X, y) < initial * 0.8
+
+    def test_loss_stable_for_extreme_scores(self):
+        X = np.array([[1000.0, -1000.0]])
+        y = np.array([0])
+        m = MultinomialLogisticRegression(dim=2, num_classes=2)
+        m.set_params(np.array([1.0, -1.0, 1.0, -1.0, 0.0, 0.0]))
+        assert np.isfinite(m.loss(X, y))
+
+
+class TestPrediction:
+    def test_predict_shape_and_range(self):
+        X, y = _problem()
+        m = MultinomialLogisticRegression(dim=5, num_classes=4, init_scale=0.1, seed=0)
+        pred = m.predict(X)
+        assert pred.shape == (len(y),)
+        assert set(np.unique(pred)) <= set(range(4))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        X, _ = _problem()
+        m = MultinomialLogisticRegression(dim=5, num_classes=4, init_scale=0.1, seed=0)
+        proba = m.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(len(X)))
+
+    def test_accuracy_on_separable_data(self):
+        rng = np.random.default_rng(0)
+        W_true = rng.normal(size=(4, 3)) * 3
+        X = rng.normal(size=(200, 4))
+        y = (X @ W_true).argmax(axis=1)
+        m = MultinomialLogisticRegression(dim=4, num_classes=3)
+        w = m.get_params()
+        for _ in range(200):
+            m.set_params(w)
+            w = w - 1.0 * m.gradient(X, y)
+        m.set_params(w)
+        assert m.accuracy(X, y) > 0.9
+
+    def test_accuracy_empty_batch(self):
+        m = MultinomialLogisticRegression(dim=2, num_classes=2)
+        assert m.accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int)) == 0.0
+
+
+class TestCloneFresh:
+    def test_fresh_same_architecture(self):
+        m = MultinomialLogisticRegression(dim=5, num_classes=4, l2=0.01, seed=3)
+        f = m.fresh()
+        assert f.n_params == m.n_params
+        assert f.l2 == m.l2
+
+    def test_clone_copies_params_independently(self):
+        m = MultinomialLogisticRegression(dim=3, num_classes=2)
+        m.set_params(np.arange(float(m.n_params)))
+        c = m.clone()
+        np.testing.assert_array_equal(c.get_params(), m.get_params())
+        c.set_params(np.zeros(m.n_params))
+        assert np.any(m.get_params() != 0.0)

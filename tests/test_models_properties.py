@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the model zoo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import MLPClassifier, MultinomialLogisticRegression
+
+_settings = settings(max_examples=25, deadline=None)
+
+
+class TestLogisticProperties:
+    @_settings
+    @given(
+        dim=st.integers(1, 8),
+        classes=st.integers(2, 6),
+        seed=st.integers(0, 100),
+    )
+    def test_flat_roundtrip_any_shape(self, dim, classes, seed):
+        model = MultinomialLogisticRegression(dim=dim, num_classes=classes)
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=model.n_params)
+        model.set_params(w)
+        np.testing.assert_array_equal(model.get_params(), w)
+
+    @_settings
+    @given(seed=st.integers(0, 100), scale=st.floats(0.1, 2.0))
+    def test_loss_invariant_to_uniform_bias_shift(self, seed, scale):
+        """Adding a constant to every class bias leaves softmax unchanged."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(10, 4))
+        y = rng.integers(3, size=10)
+        model = MultinomialLogisticRegression(dim=4, num_classes=3)
+        w = rng.normal(size=model.n_params) * scale
+        model.set_params(w)
+        base = model.loss(X, y)
+
+        shifted = w.copy()
+        shifted[-3:] += 5.0  # all biases
+        model.set_params(shifted)
+        assert model.loss(X, y) == pytest.approx(base)
+
+    @_settings
+    @given(seed=st.integers(0, 100))
+    def test_gradient_orthogonal_to_bias_shift_direction(self, seed):
+        """Consequence of the shift invariance: bias gradients sum to zero."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(12, 4))
+        y = rng.integers(3, size=12)
+        model = MultinomialLogisticRegression(dim=4, num_classes=3, init_scale=0.2, seed=seed)
+        grad = model.gradient(X, y)
+        bias_grad = grad[-3:]
+        assert abs(bias_grad.sum()) < 1e-10
+
+    @_settings
+    @given(
+        seed=st.integers(0, 100),
+        subset=st.integers(2, 8),
+    )
+    def test_loss_is_mean_over_samples(self, seed, subset):
+        """loss(batch) equals the weighted mean of sub-batch losses."""
+        rng = np.random.default_rng(seed)
+        n = 10
+        X = rng.normal(size=(n, 3))
+        y = rng.integers(2, size=n)
+        model = MultinomialLogisticRegression(dim=3, num_classes=2, init_scale=0.3, seed=seed)
+        full = model.loss(X, y)
+        part1 = model.loss(X[:subset], y[:subset])
+        part2 = model.loss(X[subset:], y[subset:])
+        combined = (subset * part1 + (n - subset) * part2) / n
+        assert full == pytest.approx(combined)
+
+    @_settings
+    @given(seed=st.integers(0, 50))
+    def test_predict_argmax_of_proba(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(8, 4))
+        model = MultinomialLogisticRegression(dim=4, num_classes=3, init_scale=0.5, seed=seed)
+        np.testing.assert_array_equal(
+            model.predict(X), model.predict_proba(X).argmax(axis=1)
+        )
+
+
+class TestNeuralModelProperties:
+    @_settings
+    @given(
+        dim=st.integers(2, 5),
+        hidden=st.integers(2, 6),
+        seed=st.integers(0, 50),
+    )
+    def test_mlp_flat_roundtrip(self, dim, hidden, seed):
+        model = MLPClassifier(dim=dim, num_classes=3, hidden=hidden, seed=seed)
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=model.n_params)
+        model.set_params(w)
+        np.testing.assert_allclose(model.get_params(), w)
+
+    @_settings
+    @given(seed=st.integers(0, 50))
+    def test_mlp_gradient_shape_matches_params(self, seed):
+        rng = np.random.default_rng(seed)
+        model = MLPClassifier(dim=3, num_classes=2, hidden=4, seed=seed)
+        X = rng.normal(size=(5, 3))
+        y = rng.integers(2, size=5)
+        grad = model.gradient(X, y)
+        assert grad.shape == (model.n_params,)
+        assert np.all(np.isfinite(grad))
+
+    @_settings
+    @given(seed=st.integers(0, 50), step=st.floats(1e-4, 1e-2))
+    def test_mlp_small_gradient_step_decreases_loss(self, seed, step):
+        """First-order model sanity: for small steps, w - eta*grad lowers
+        the loss (away from stationarity)."""
+        rng = np.random.default_rng(seed)
+        model = MLPClassifier(dim=3, num_classes=2, hidden=4, seed=seed)
+        X = rng.normal(size=(20, 3))
+        y = rng.integers(2, size=20)
+        w = model.get_params()
+        loss0, grad = model.loss_and_gradient(X, y)
+        if np.linalg.norm(grad) < 1e-6:
+            return  # effectively stationary; nothing to test
+        model.set_params(w - step * grad)
+        assert model.loss(X, y) <= loss0 + 1e-9

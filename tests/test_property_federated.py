@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for core federated invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    AdaptiveMuController,
+    UniformSamplingWeightedAverage,
+    WeightedSamplingSimpleAverage,
+)
+from repro.datasets import FederatedDataset
+from repro.models import MultinomialLogisticRegression
+from repro.optim import LocalObjective
+from repro.optim.base import batches_per_epoch, work_batches
+
+from tests.conftest import make_toy_client
+
+_settings = settings(max_examples=30, deadline=None)
+
+finite = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def _dataset(num_clients=5):
+    clients = [make_toy_client(i, seed=200 + i) for i in range(num_clients)]
+    return FederatedDataset("prop", clients, num_classes=3, input_dim=6)
+
+
+DATASET = _dataset()
+
+
+class TestAggregationProperties:
+    @_settings
+    @given(
+        updates=st.lists(
+            arrays(np.float64, (4,), elements=finite), min_size=1, max_size=5
+        )
+    )
+    def test_weighted_average_in_convex_hull(self, updates):
+        scheme = UniformSamplingWeightedAverage(DATASET, 2, seed=0)
+        pairs = [(i % DATASET.num_devices, w) for i, w in enumerate(updates)]
+        out = scheme.aggregate(pairs, np.zeros(4))
+        stacked = np.stack(updates)
+        assert np.all(out >= stacked.min(axis=0) - 1e-9)
+        assert np.all(out <= stacked.max(axis=0) + 1e-9)
+
+    @_settings
+    @given(
+        updates=st.lists(
+            arrays(np.float64, (3,), elements=finite), min_size=2, max_size=5
+        )
+    )
+    def test_simple_average_is_mean(self, updates):
+        scheme = WeightedSamplingSimpleAverage(DATASET, 2, seed=0)
+        pairs = [(i % DATASET.num_devices, w) for i, w in enumerate(updates)]
+        out = scheme.aggregate(pairs, np.zeros(3))
+        np.testing.assert_allclose(out, np.stack(updates).mean(axis=0), atol=1e-12)
+
+    @_settings
+    @given(shift=arrays(np.float64, (4,), elements=finite))
+    def test_aggregation_translation_equivariance(self, shift):
+        """Aggregating shifted updates shifts the aggregate."""
+        scheme = UniformSamplingWeightedAverage(DATASET, 2, seed=0)
+        rng = np.random.default_rng(0)
+        updates = [(i, rng.normal(size=4)) for i in range(3)]
+        base = scheme.aggregate(updates, np.zeros(4))
+        shifted = scheme.aggregate(
+            [(i, w + shift) for i, w in updates], np.zeros(4)
+        )
+        np.testing.assert_allclose(shifted, base + shift, atol=1e-9)
+
+
+class TestProximalObjectiveProperties:
+    @_settings
+    @given(
+        mu=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        offset=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    )
+    def test_prox_loss_decomposition(self, mu, offset):
+        """h(w) - F(w) equals exactly (mu/2)||w - w_ref||^2."""
+        client = DATASET[0]
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        w_ref = np.zeros(model.n_params)
+        w = np.full(model.n_params, offset)
+        prox = LocalObjective(
+            model, client.train_x, client.train_y, w_ref=w_ref, mu=mu
+        )
+        plain = LocalObjective(model, client.train_x, client.train_y, mu=0.0)
+        expected_penalty = 0.5 * mu * float((w - w_ref) @ (w - w_ref))
+        assert prox.loss(w) - plain.loss(w) == pytest.approx(expected_penalty)
+
+    @_settings
+    @given(mu=st.floats(min_value=0.01, max_value=10.0, allow_nan=False))
+    def test_prox_gradient_at_anchor_matches_plain(self, mu):
+        """At w = w_ref the proximal term's gradient vanishes."""
+        client = DATASET[1]
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        w_ref = np.full(model.n_params, 0.3)
+        prox = LocalObjective(
+            model, client.train_x, client.train_y, w_ref=w_ref, mu=mu
+        )
+        plain = LocalObjective(model, client.train_x, client.train_y, mu=0.0)
+        np.testing.assert_allclose(
+            prox.gradient(w_ref), plain.gradient(w_ref), atol=1e-12
+        )
+
+
+class TestWorkBatchesProperties:
+    @_settings
+    @given(
+        n=st.integers(2, 200),
+        bs=st.integers(1, 50),
+        epochs=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        seed=st.integers(0, 100),
+    )
+    def test_batch_count_and_coverage(self, n, bs, epochs, seed):
+        gen = np.random.default_rng(seed)
+        batches = list(work_batches(n, bs, epochs, gen))
+        per_epoch = batches_per_epoch(n, bs)
+        expected = max(1, round(epochs * per_epoch))
+        assert len(batches) == expected
+        for b in batches:
+            assert len(b) >= 1
+            assert b.min() >= 0 and b.max() < n
+
+    @_settings
+    @given(n=st.integers(2, 100), bs=st.integers(1, 30), seed=st.integers(0, 50))
+    def test_full_epoch_covers_every_sample(self, n, bs, seed):
+        gen = np.random.default_rng(seed)
+        batches = list(work_batches(n, bs, 1.0, gen))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(n))
+
+
+class TestAdaptiveMuProperties:
+    @_settings
+    @given(
+        losses=st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        mu0=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    def test_mu_stays_in_bounds(self, losses, mu0):
+        controller = AdaptiveMuController(initial_mu=mu0, mu_min=0.0, mu_max=3.0)
+        for loss in losses:
+            mu = controller.update(loss)
+            assert 0.0 <= mu <= 3.0
+
+    @_settings
+    @given(
+        start=st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+        steps=st.integers(1, 20),
+    )
+    def test_strictly_increasing_losses_never_decrease_mu(self, start, steps):
+        controller = AdaptiveMuController(initial_mu=0.5)
+        previous_mu = controller.mu
+        for i in range(steps):
+            mu = controller.update(start + i)
+            assert mu >= previous_mu
+            previous_mu = mu

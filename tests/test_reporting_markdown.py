@@ -1,0 +1,87 @@
+"""Tests for markdown report generation."""
+
+import pytest
+
+from repro.core.history import RoundRecord, TrainingHistory
+from repro.experiments.results import FigureResult, PanelResult
+from repro.reporting import figure_result_markdown, markdown_table
+
+
+def _history(label, losses, accs=None, dissim=None):
+    h = TrainingHistory(label=label)
+    for i, loss in enumerate(losses):
+        h.append(
+            RoundRecord(
+                round_idx=i,
+                train_loss=loss,
+                test_accuracy=accs[i] if accs else None,
+                dissimilarity=dissim[i] if dissim else None,
+            )
+        )
+    return h
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = markdown_table([{"a": 1, "b": "x"}, {"a": 2.5, "b": "y"}])
+        lines = out.split("\n")
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | x |"
+        assert "2.5" in lines[3]
+
+    def test_empty(self):
+        assert "(no rows)" in markdown_table([])
+
+    def test_none_cells_blank(self):
+        out = markdown_table([{"a": None}])
+        assert out.split("\n")[2] == "|  |"
+
+    def test_float_precision(self):
+        out = markdown_table([{"x": 0.123456789}])
+        assert "0.1235" in out
+
+
+class TestFigureResultMarkdown:
+    def _result(self):
+        fig = FigureResult(figure_id="figureX", description="demo")
+        fig.panels.append(
+            PanelResult(
+                dataset="DS",
+                environment="90% stragglers",
+                histories={
+                    "FedAvg": _history("FedAvg", [2.0, 1.5, 1.0], accs=[0.1, 0.2, 0.3]),
+                    "FedProx": _history(
+                        "FedProx", [2.0, 1.2, 0.8], accs=[0.1, 0.3, 0.5],
+                        dissim=[5.0, 4.0, 3.0],
+                    ),
+                },
+            )
+        )
+        return fig
+
+    def test_contains_heading_and_panel(self):
+        md = figure_result_markdown(self._result())
+        assert "### figureX" in md
+        assert "DS [90% stragglers]" in md
+
+    def test_contains_method_rows(self):
+        md = figure_result_markdown(self._result())
+        assert "FedAvg" in md and "FedProx" in md
+        assert "| method |" in md
+
+    def test_accuracy_columns_when_present(self):
+        md = figure_result_markdown(self._result())
+        assert "final acc" in md and "best acc" in md
+
+    def test_accuracy_columns_suppressed(self):
+        md = figure_result_markdown(self._result(), include_accuracy=False)
+        assert "final acc" not in md
+
+    def test_dissimilarity_column_when_tracked(self):
+        md = figure_result_markdown(self._result())
+        assert "final grad-var" in md
+
+    def test_sparkline_embedded(self):
+        md = figure_result_markdown(self._result())
+        assert "`" in md  # code-fenced sparkline

@@ -1,0 +1,103 @@
+"""Tests for device profiles and the clock-driven systems model."""
+
+import numpy as np
+import pytest
+
+from repro.systems import (
+    NETWORK_TIERS,
+    ClockDrivenSystems,
+    DeviceProfile,
+    sample_fleet,
+)
+
+
+def _profile(device_id=0, speed=1.0, network="wifi", battery=1.0):
+    return DeviceProfile(
+        device_id=device_id,
+        compute_speed=speed,
+        network=network,
+        battery_level=battery,
+    )
+
+
+class TestDeviceProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _profile(speed=0.0)
+        with pytest.raises(ValueError):
+            _profile(network="dialup")
+        with pytest.raises(ValueError):
+            _profile(battery=1.5)
+
+    def test_bandwidth_lookup(self):
+        assert _profile(network="3g").bandwidth_mbps == NETWORK_TIERS["3g"]
+
+    def test_battery_throttling(self):
+        fast = _profile(speed=2.0, battery=0.9)
+        throttled = _profile(speed=2.0, battery=0.1)
+        assert throttled.effective_speed() == pytest.approx(fast.effective_speed() / 2)
+
+    def test_sample_fleet(self, rng):
+        fleet = sample_fleet(25, rng)
+        assert len(fleet) == 25
+        assert [p.device_id for p in fleet] == list(range(25))
+        speeds = [p.compute_speed for p in fleet]
+        assert min(speeds) > 0
+
+
+class TestClockDrivenSystems:
+    def _systems(self, profiles, deadline=10.0, jitter=0.0, seed=0):
+        return ClockDrivenSystems(
+            profiles, deadline=deadline, jitter_sigma=jitter, seed=seed
+        )
+
+    def test_faster_device_more_epochs(self):
+        profiles = [_profile(0, speed=0.5), _profile(1, speed=2.0)]
+        systems = self._systems(profiles)
+        slow = systems.epochs_within_deadline(0, 0)
+        fast = systems.epochs_within_deadline(0, 1)
+        assert fast > slow
+
+    def test_longer_deadline_more_epochs(self):
+        profiles = [_profile(0)]
+        short = self._systems(profiles, deadline=5.0).epochs_within_deadline(0, 0)
+        long = self._systems(profiles, deadline=20.0).epochs_within_deadline(0, 0)
+        assert long > short
+
+    def test_slow_network_reduces_budget(self):
+        wifi = self._systems([_profile(0, network="wifi")])
+        cellular = self._systems([_profile(0, network="3g")])
+        assert cellular.epochs_within_deadline(0, 0) < wifi.epochs_within_deadline(0, 0)
+
+    def test_assignment_caps_at_max_epochs(self):
+        systems = self._systems([_profile(0, speed=100.0)])
+        [a] = systems.assign(0, [0], max_epochs=20)
+        assert a.epochs == 20
+        assert not a.is_straggler
+
+    def test_slow_device_flagged_straggler(self):
+        systems = self._systems([_profile(0, speed=0.01)])
+        [a] = systems.assign(0, [0], max_epochs=20)
+        assert a.is_straggler
+        assert 0 < a.epochs < 20
+
+    def test_minimum_budget_floor(self):
+        # Device so slow (and network so bad) that compute budget ~ 0.
+        systems = self._systems([_profile(0, speed=1e-6, network="3g")], deadline=1.01)
+        [a] = systems.assign(0, [0], max_epochs=20)
+        assert a.epochs >= 0.02
+
+    def test_jitter_deterministic_per_round(self):
+        profiles = [_profile(0)]
+        a = ClockDrivenSystems(profiles, deadline=10, jitter_sigma=0.5, seed=3)
+        b = ClockDrivenSystems(profiles, deadline=10, jitter_sigma=0.5, seed=3)
+        assert a.epochs_within_deadline(4, 0) == b.epochs_within_deadline(4, 0)
+
+    def test_jitter_varies_across_rounds(self):
+        systems = ClockDrivenSystems([_profile(0)], deadline=10, jitter_sigma=0.5, seed=3)
+        values = {round(systems.epochs_within_deadline(r, 0), 6) for r in range(5)}
+        assert len(values) > 1
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            ClockDrivenSystems([_profile(0)], deadline=0.0)

@@ -1,0 +1,57 @@
+"""Tests for communication/computation cost accounting."""
+
+import pytest
+
+from repro.systems import CostTracker
+
+
+class TestCostTracker:
+    def test_round_broadcast_bytes(self):
+        tracker = CostTracker(model_bytes=100)
+        cost = tracker.start_round(0, participants=5)
+        assert cost.bytes_down == 500
+        assert cost.participants == 5
+        assert cost.uploads == 0
+
+    def test_upload_accounting(self):
+        tracker = CostTracker(model_bytes=100)
+        cost = tracker.start_round(0, participants=3)
+        tracker.record_upload(cost, epochs=20, gradient_evaluations=40)
+        tracker.record_upload(cost, epochs=2.5, gradient_evaluations=5)
+        assert cost.uploads == 2
+        assert cost.bytes_up == 200
+        assert cost.local_epochs == pytest.approx(22.5)
+        assert cost.gradient_evaluations == 45
+
+    def test_totals_across_rounds(self):
+        tracker = CostTracker(model_bytes=10)
+        for r in range(3):
+            cost = tracker.start_round(r, participants=2)
+            tracker.record_upload(cost, 1, 1)
+        assert tracker.total_bytes() == 3 * (20 + 10)
+        assert tracker.total_gradient_evaluations() == 3
+
+    def test_summary(self):
+        tracker = CostTracker(model_bytes=10)
+        cost = tracker.start_round(0, participants=4)
+        tracker.record_upload(cost, 1, 2)
+        tracker.record_upload(cost, 1, 2)
+        summary = tracker.summary()
+        assert summary["rounds"] == 1
+        assert summary["mean_uploads_per_round"] == 2.0
+        assert summary["total_gradient_evaluations"] == 4
+        assert summary["total_local_epochs"] == 2.0
+
+    def test_summary_empty(self):
+        summary = CostTracker().summary()
+        assert summary["rounds"] == 0
+        assert summary["mean_uploads_per_round"] == 0.0
+
+    def test_dropped_devices_upload_nothing(self):
+        """FedAvg semantics: broadcast to K devices, aggregate fewer."""
+        tracker = CostTracker(model_bytes=8)
+        cost = tracker.start_round(0, participants=10)
+        tracker.record_upload(cost, 20, 40)  # only one survivor
+        assert cost.bytes_down == 80
+        assert cost.bytes_up == 8
+        assert cost.uploads == 1

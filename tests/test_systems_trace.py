@@ -1,0 +1,101 @@
+"""Tests for round-timeline tracing under the clock model."""
+
+import numpy as np
+import pytest
+
+from repro.systems import (
+    ClockDrivenSystems,
+    DeviceProfile,
+    trace_round,
+)
+
+
+def _profile(device_id, speed=1.0, network="wifi", battery=1.0):
+    return DeviceProfile(
+        device_id=device_id, compute_speed=speed, network=network,
+        battery_level=battery,
+    )
+
+
+@pytest.fixture
+def systems():
+    profiles = [
+        _profile(0, speed=5.0, network="wifi"),   # fast
+        _profile(1, speed=0.05, network="wifi"),  # compute-bound straggler
+        _profile(2, speed=5.0, network="3g"),     # network-taxed
+    ]
+    return ClockDrivenSystems(profiles, deadline=2.0, jitter_sigma=0.0, seed=0)
+
+
+class TestTraceRound:
+    def test_one_trace_per_device(self, systems):
+        timeline = trace_round(systems, 0, [0, 1, 2], max_epochs=5)
+        assert [t.device_id for t in timeline.traces] == [0, 1, 2]
+        assert timeline.deadline == 2.0
+
+    def test_fast_device_completes(self, systems):
+        timeline = trace_round(systems, 0, [0], max_epochs=5)
+        [t] = timeline.traces
+        assert not t.hit_deadline
+        assert t.epochs_completed == 5.0
+
+    def test_slow_device_straggles(self, systems):
+        timeline = trace_round(systems, 0, [1], max_epochs=5)
+        [t] = timeline.traces
+        assert t.hit_deadline
+        assert t.epochs_completed < 5.0
+
+    def test_stragglers_property(self, systems):
+        timeline = trace_round(systems, 0, [0, 1, 2], max_epochs=5)
+        assert 1 in timeline.stragglers
+        assert 0 not in timeline.stragglers
+
+    def test_agrees_with_assign(self, systems):
+        """The trace reports the same work budgets the trainer would see."""
+        assignments = systems.assign(3, [0, 1, 2], max_epochs=5)
+        timeline = trace_round(systems, 3, [0, 1, 2], max_epochs=5)
+        for a, t in zip(assignments, timeline.traces):
+            assert a.client_id == t.device_id
+            assert a.epochs == pytest.approx(t.epochs_completed)
+            assert a.is_straggler == t.hit_deadline
+
+    def test_communication_split_evenly(self, systems):
+        timeline = trace_round(systems, 0, [2], max_epochs=5)
+        [t] = timeline.traces
+        assert t.download_cycles == pytest.approx(t.upload_cycles)
+        assert t.download_cycles > 0
+
+    def test_bottleneck_classification(self):
+        profiles = [
+            _profile(0, speed=0.01, network="wifi"),  # compute-bound
+            _profile(1, speed=50.0, network="3g"),    # network-bound
+        ]
+        systems = ClockDrivenSystems(
+            profiles, deadline=1.5, jitter_sigma=0.0, seed=0
+        )
+        timeline = trace_round(systems, 0, [0, 1], max_epochs=100)
+        by_id = {t.device_id: t for t in timeline.traces}
+        assert by_id[0].bottleneck == "compute"
+        assert by_id[1].bottleneck == "network"
+
+    def test_bottleneck_counts(self):
+        profiles = [
+            _profile(0, speed=0.01, network="wifi"),
+            _profile(1, speed=0.01, network="wifi"),
+        ]
+        systems = ClockDrivenSystems(
+            profiles, deadline=2.0, jitter_sigma=0.0, seed=0
+        )
+        timeline = trace_round(systems, 0, [0, 1], max_epochs=10)
+        counts = timeline.bottleneck_counts()
+        assert counts["compute"] == 2
+        assert counts["network"] == 0
+
+    def test_jitter_consistency_across_rounds(self):
+        profiles = [_profile(0, speed=1.0)]
+        systems = ClockDrivenSystems(
+            profiles, deadline=2.0, jitter_sigma=0.5, seed=7
+        )
+        t1 = trace_round(systems, 4, [0], max_epochs=10).traces[0]
+        t2 = trace_round(systems, 4, [0], max_epochs=10).traces[0]
+        assert t1.epochs_completed == t2.epochs_completed
