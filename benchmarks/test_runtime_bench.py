@@ -1,0 +1,45 @@
+"""Round-execution-engine benchmark wiring.
+
+Runs ``scripts/bench_runtime.py --quick`` as a subprocess (the harness must
+work standalone, the way EXPERIMENTS.md invokes it) and checks the emitted
+``BENCH_runtime.json`` covers all three engine configurations.  Marked
+``slow`` because the parallel mode spins up a process pool.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "bench_runtime.py")
+
+
+@pytest.mark.slow
+def test_bench_runtime_quick(benchmark, tmp_path):
+    out = tmp_path / "BENCH_runtime.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+
+    def run():
+        return subprocess.run(
+            [
+                sys.executable, SCRIPT, "--quick", "--workers", "2",
+                "--output", str(out),
+            ],
+            env=env, capture_output=True, text=True, timeout=600,
+        )
+
+    proc = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert proc.returncode == 0, proc.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["quick"] is True
+    assert payload["cpu_count"] >= 1
+    modes = {row["mode"] for row in payload["results"]}
+    assert modes == {"serial-legacy", "serial-fast", "parallel"}
+    for row in payload["results"]:
+        assert row["rounds_per_sec"] > 0
+        assert "speedup_vs_serial" in row

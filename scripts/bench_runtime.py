@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Benchmark the round execution engine: serial vs parallel rounds/sec.
+
+Times communication rounds on the paper's Synthetic(1, 1) dataset across
+federation sizes (10 / 100 / 1000 devices by default) for three engine
+configurations:
+
+``serial-legacy``
+    The seed behavior — sequential local solves and the per-client Python
+    evaluation loop.
+``serial-fast``
+    Sequential solves with the vectorized (stacked) evaluation fast path.
+``parallel``
+    ``ParallelExecutor`` workers plus stacked evaluation.
+
+Writes ``BENCH_runtime.json`` with rounds/sec per configuration and the
+speedup of each mode over ``serial-legacy``, establishing the repo's perf
+trajectory baseline.  The host's ``cpu_count`` is recorded alongside: on a
+single-core container the parallel numbers are overhead-bound and the
+speedup there comes from the evaluation fast path alone.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_runtime.py            # full sweep
+    PYTHONPATH=src python scripts/bench_runtime.py --quick    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import FederatedTrainer  # noqa: E402
+from repro.datasets import make_synthetic  # noqa: E402
+from repro.models import MultinomialLogisticRegression  # noqa: E402
+from repro.optim import SGDSolver  # noqa: E402
+from repro.runtime import ParallelExecutor, RoundExecutor, SerialExecutor  # noqa: E402
+from repro.systems import FractionStragglers  # noqa: E402
+
+MODES = ("serial-legacy", "serial-fast", "parallel")
+
+
+def build_trainer(
+    dataset,
+    mode: str,
+    workers: int,
+    epochs: float,
+    seed: int = 0,
+) -> FederatedTrainer:
+    """One FedProx trainer per (dataset, engine mode) measurement."""
+    model = MultinomialLogisticRegression(dim=60, num_classes=10)
+    executor: Optional[RoundExecutor] = None
+    eval_mode = "auto"
+    if mode == "serial-legacy":
+        executor = SerialExecutor()
+        eval_mode = "per_client"
+    elif mode == "serial-fast":
+        executor = SerialExecutor()
+    elif mode == "parallel":
+        executor = ParallelExecutor(n_workers=workers)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return FederatedTrainer(
+        dataset=dataset,
+        model=model,
+        solver=SGDSolver(0.01, batch_size=10),
+        mu=1.0,
+        clients_per_round=min(10, dataset.num_devices),
+        epochs=epochs,
+        systems=FractionStragglers(0.5, seed=seed),
+        seed=seed,
+        executor=executor,
+        eval_mode=eval_mode,
+    )
+
+
+def time_rounds(trainer: FederatedTrainer, rounds: int) -> float:
+    """Seconds spent on ``rounds`` rounds, excluding pool/cache warmup."""
+    trainer.executor.ensure_started()
+    trainer.run_round()  # warm caches (stacked arrays) outside the clock
+    start = time.perf_counter()
+    trainer.run(rounds)
+    return time.perf_counter() - start
+
+
+def run_benchmark(
+    devices: List[int], rounds: int, workers: int, epochs: float
+) -> dict:
+    results = []
+    for num_devices in devices:
+        dataset = make_synthetic(1.0, 1.0, num_devices=num_devices, seed=0)
+        per_mode = {}
+        for mode in MODES:
+            trainer = build_trainer(dataset, mode, workers, epochs)
+            try:
+                elapsed = time_rounds(trainer, rounds)
+            finally:
+                trainer.close()
+            rounds_per_sec = rounds / elapsed
+            per_mode[mode] = rounds_per_sec
+            results.append(
+                {
+                    "devices": num_devices,
+                    "mode": mode,
+                    "workers": workers if mode == "parallel" else 1,
+                    "rounds": rounds,
+                    "seconds": round(elapsed, 4),
+                    "rounds_per_sec": round(rounds_per_sec, 3),
+                }
+            )
+            print(
+                f"devices={num_devices:5d}  {mode:14s}  "
+                f"{rounds_per_sec:8.2f} rounds/s  ({elapsed:.3f}s)"
+            )
+        legacy = per_mode["serial-legacy"]
+        for row in results:
+            if row["devices"] == num_devices:
+                row["speedup_vs_serial"] = round(per_mode[row["mode"]] / legacy, 3)
+    return {
+        "benchmark": "runtime round execution engine",
+        "dataset": "synthetic(1,1)",
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "rounds_timed": rounds,
+        "local_epochs": epochs,
+        "results": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--devices", type=int, nargs="+", default=[10, 100, 1000],
+        help="federation sizes to benchmark",
+    )
+    parser.add_argument("--rounds", type=int, default=5, help="timed rounds")
+    parser.add_argument("--workers", type=int, default=4, help="parallel workers")
+    parser.add_argument(
+        "--epochs", type=float, default=2.0, help="local epochs E per round"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: 100 devices, 3 rounds, 1 local epoch",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_runtime.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.devices = [100]
+        args.rounds = 3
+        args.epochs = 1.0
+
+    payload = run_benchmark(args.devices, args.rounds, args.workers, args.epochs)
+    payload["quick"] = bool(args.quick)
+    payload["generated_unix"] = int(time.time())
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,7 +83,15 @@ class Tensor:
         backward pass touches this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward_fn",
+        "_grad_buffer",
+        "_cached_order",
+    )
 
     def __init__(
         self,
@@ -102,6 +110,10 @@ class Tensor:
         self.requires_grad: bool = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = _parents
         self._backward_fn: Optional[Callable[[np.ndarray], None]] = _backward_fn
+        # Reused across backward passes so long-lived tensors (parameters)
+        # never reallocate their gradient storage.
+        self._grad_buffer: Optional[np.ndarray] = None
+        self._cached_order: Optional[list] = None
 
     # ------------------------------------------------------------------ #
     # Introspection helpers
@@ -153,15 +165,32 @@ class Tensor:
 
         Constant leaves (``requires_grad=False`` and no parents) discard
         incoming gradients — they neither store nor propagate them.
+
+        The first contribution of a backward pass is *copied* into a
+        preallocated per-tensor buffer (allocated once, reused across
+        passes) rather than added onto a freshly zeroed array; subsequent
+        contributions accumulate in place.  This removes one allocation and
+        one full array pass per touched node per backward.
         """
         if not (self.requires_grad or self._parents):
             return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=np.float64)
-        self.grad += grad
+            buf = self._grad_buffer
+            if buf is None or buf.shape != self.data.shape:
+                buf = np.empty(self.data.shape, dtype=np.float64)
+                self._grad_buffer = buf
+            np.copyto(buf, grad)
+            self.grad = buf
+        else:
+            self.grad += grad
 
     def zero_grad(self) -> None:
-        """Reset the accumulated gradient to ``None``."""
+        """Reset the accumulated gradient to ``None``.
+
+        The underlying buffer is kept and reused by the next backward pass;
+        callers that need to retain a gradient across passes should copy it
+        first.
+        """
         self.grad = None
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
@@ -193,7 +222,14 @@ class Tensor:
                     f"shape {self.shape}"
                 )
 
-        order = self._toposort()
+        # A tensor's parents are fixed at construction, so the traversal
+        # order from a given root never changes — cache it so repeated
+        # backward calls on the same graph skip the graph walk.
+        order = self._cached_order
+        if order is None:
+            order = self._toposort()
+            if self._parents:
+                self._cached_order = order
         self._accumulate(grad)
         for node in order:
             if node._backward_fn is not None and node.grad is not None:

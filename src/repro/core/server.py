@@ -14,6 +14,14 @@ stragglers, and mini-batch orders across all runs".  All three draws here
 are pure functions of the construction seed plus round/device indices, so
 any two trainers built with the same ``seed`` (and sampling scheme /
 systems model seeds) experience identical environments.
+
+Execution: the trainer describes each round as a batch of
+:class:`~repro.runtime.executor.LocalTask` descriptions and delegates the
+actual solves (and federation evaluation) to a pluggable
+:class:`~repro.runtime.executor.RoundExecutor` — serial in-process by
+default, or multiprocess via
+:class:`~repro.runtime.parallel.ParallelExecutor` with bit-identical
+results.
 """
 
 from __future__ import annotations
@@ -25,6 +33,8 @@ import numpy as np
 from ..datasets.federated import FederatedDataset
 from ..models.base import FederatedModel
 from ..optim.base import LocalSolver
+from ..runtime.evaluation import no_test_samples_error
+from ..runtime.executor import LocalTask, RoundExecutor, SerialExecutor
 from ..systems.costs import CostTracker
 from ..systems.stragglers import NoHeterogeneity, SystemsModel
 from .adaptive_mu import AdaptiveMuController
@@ -43,16 +53,24 @@ def global_train_loss(clients: Sequence[Client], w: np.ndarray) -> float:
     return float(masses @ losses)
 
 
-def global_test_accuracy(clients: Sequence[Client], w: np.ndarray) -> float:
-    """Sample-weighted test accuracy across all devices."""
+def global_test_accuracy(
+    clients: Sequence[Client], w: np.ndarray, label: str = ""
+) -> float:
+    """Sample-weighted test accuracy across all devices with test data.
+
+    Devices holding no test samples are skipped outright; if *no* device
+    holds any, the error names the federation via ``label``.
+    """
     correct = 0
     total = 0
     for client in clients:
+        if client.data.num_test == 0:
+            continue
         c, n = client.test_metrics(w)
         correct += c
         total += n
     if total == 0:
-        raise ValueError("no test samples anywhere in the federation")
+        raise no_test_samples_error(label)
     return correct / total
 
 
@@ -110,6 +128,17 @@ class FederatedTrainer:
         Per-round observers; any callback returning ``True`` from
         ``on_round_end`` stops :meth:`run` early (e.g.
         :class:`~repro.core.callbacks.EarlyStopping`).
+    executor:
+        Round execution engine; defaults to
+        :class:`~repro.runtime.executor.SerialExecutor`.  A
+        :class:`~repro.runtime.parallel.ParallelExecutor` runs each round's
+        local solves on persistent worker processes and yields bit-identical
+        histories (see :mod:`repro.runtime`).  Call :meth:`close` (or use
+        the trainer as a context manager) to release executor resources.
+    eval_mode:
+        Federation evaluation strategy — ``"auto"`` (default; vectorized
+        stacked evaluation when the model supports it), ``"per_client"``
+        (legacy per-device loop), or ``"stacked"``.
     label:
         Display name stored on the produced history.
     """
@@ -135,6 +164,8 @@ class FederatedTrainer:
         dissimilarity_max_clients: Optional[int] = None,
         cost_tracker: Optional[CostTracker] = None,
         callbacks: Optional[List[Callback]] = None,
+        executor: Optional[RoundExecutor] = None,
+        eval_mode: str = "auto",
         label: str = "",
     ) -> None:
         if mu < 0:
@@ -169,6 +200,16 @@ class FederatedTrainer:
         self.clients: List[Client] = [
             Client(data, model, solver) for data in dataset
         ]
+        self.executor = executor or SerialExecutor()
+        self.executor.bind(
+            dataset,
+            model,
+            solver,
+            clients=self.clients,
+            eval_mode=eval_mode,
+            label=dataset.name,
+        )
+        self.eval_mode = self.executor.eval_mode
         self.w = model.get_params()
         self._round = 0
 
@@ -181,22 +222,36 @@ class FederatedTrainer:
             return "FedProx (adaptive mu)"
         return f"FedProx (mu={self.mu:g})"
 
+    def _batch_entropy(
+        self, round_idx: int, client_id: int, occurrence: int
+    ) -> Tuple[int, int, int, int]:
+        """Entropy tuple deriving this solve's mini-batch randomness."""
+        return (self.seed, round_idx, client_id, occurrence)
+
     def _batch_rng(self, round_idx: int, client_id: int, occurrence: int) -> np.random.Generator:
         """Mini-batch shuffling randomness, fixed across compared runs."""
         return np.random.default_rng(
-            np.random.SeedSequence([self.seed, round_idx, client_id, occurrence])
+            np.random.SeedSequence(
+                list(self._batch_entropy(round_idx, client_id, occurrence))
+            )
         )
 
     def _local_updates(
         self, round_idx: int, selected: List[int]
     ) -> Tuple[List[ClientUpdate], List[int], List[int]]:
-        """Run local solves; returns (accepted updates, stragglers, dropped)."""
+        """Run local solves; returns (accepted updates, stragglers, dropped).
+
+        Builds one :class:`~repro.runtime.executor.LocalTask` per accepted
+        assignment and hands the batch to the round executor; results come
+        back in task order, so aggregation is independent of how (or where)
+        the solves actually ran.
+        """
         assignments = self.systems.assign(round_idx, selected, self.epochs)
         cost = None
         if self.cost_tracker is not None:
             cost = self.cost_tracker.start_round(round_idx, len(selected))
 
-        updates: List[ClientUpdate] = []
+        tasks: List[LocalTask] = []
         stragglers: List[int] = []
         dropped: List[int] = []
         occurrence_count: dict = {}
@@ -209,15 +264,19 @@ class FederatedTrainer:
                 if self.drop_stragglers:
                     dropped.append(cid)
                     continue
-            update = self.clients[cid].local_solve(
-                w_global=self.w,
-                mu=self.mu,
-                epochs=assignment.epochs,
-                rng=self._batch_rng(round_idx, cid, occurrence),
-                measure_gamma=self.track_gamma,
+            tasks.append(
+                LocalTask(
+                    client_id=cid,
+                    w_global=self.w,
+                    mu=self.mu,
+                    epochs=assignment.epochs,
+                    rng_entropy=self._batch_entropy(round_idx, cid, occurrence),
+                    measure_gamma=self.track_gamma,
+                )
             )
-            updates.append(update)
-            if cost is not None:
+        updates = self.executor.run_local_solves(tasks)
+        if cost is not None:
+            for update in updates:
                 self.cost_tracker.record_upload(
                     cost, update.epochs, update.gradient_evaluations
                 )
@@ -225,13 +284,13 @@ class FederatedTrainer:
 
     def _evaluate(self, round_idx: int) -> RoundRecord:
         """Post-aggregation metrics for the current global model."""
-        train_loss = global_train_loss(self.clients, self.w)
+        train_loss = self.executor.train_loss(self.w)
         record = RoundRecord(
             round_idx=round_idx, train_loss=train_loss, mu=self.mu
         )
         if (round_idx % self.eval_every) == 0 or round_idx == 0:
             if self.eval_test:
-                record.test_accuracy = global_test_accuracy(self.clients, self.w)
+                record.test_accuracy = self.executor.test_accuracy(self.w)
             if self.track_dissimilarity:
                 report = measure_dissimilarity(
                     self.clients,
@@ -290,10 +349,22 @@ class FederatedTrainer:
             return
         last = history.records[-1]
         if self.eval_test and last.test_accuracy is None:
-            last.test_accuracy = global_test_accuracy(self.clients, self.w)
+            last.test_accuracy = self.executor.test_accuracy(self.w)
         if self.track_dissimilarity and last.dissimilarity is None:
             report = measure_dissimilarity(
                 self.clients, self.w,
                 max_clients=self.dissimilarity_max_clients,
             )
             last.dissimilarity = report.gradient_variance
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release executor-owned resources (worker pools); idempotent."""
+        self.executor.close()
+
+    def __enter__(self) -> "FederatedTrainer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

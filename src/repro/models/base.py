@@ -66,6 +66,20 @@ class FederatedModel(abc.ABC):
             return 0.0
         return float(np.mean(self.predict(X) == np.asarray(y)))
 
+    @property
+    def supports_stacked_eval(self) -> bool:
+        """Whether federation-level evaluation may stack per-client batches.
+
+        Returning ``True`` promises that (a) :meth:`loss` is the mean
+        per-sample loss plus at most a sample-independent regularizer, so the
+        loss of a concatenated batch equals the ``n_k``-weighted mean of the
+        per-client losses, and (b) a single forward pass over the whole
+        federation's data fits in memory.  The runtime's vectorized
+        evaluation fast path (:mod:`repro.runtime.evaluation`) is only
+        enabled when this holds.
+        """
+        return False
+
     def clone(self) -> "FederatedModel":
         """A structurally identical model with independently-owned parameters.
 
@@ -76,6 +90,22 @@ class FederatedModel(abc.ABC):
         other = self.fresh()
         other.set_params(self.get_params())
         return other
+
+    def spawn_replica(self) -> "FederatedModel":
+        """An independent replica safe to pickle and ship to a worker process.
+
+        The parallel round executor initializes each worker with one replica
+        that serves as that worker's loss/gradient oracle for every client it
+        is handed.  Implementations must return an object that (a) shares no
+        mutable state with ``self`` and (b) survives ``pickle`` round-trips.
+        The default deliberately raises so that requesting parallel execution
+        on a model without a replica contract fails loudly instead of
+        silently falling back to serial behavior.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement spawn_replica(); "
+            "parallel round execution needs a cheap, picklable model replica"
+        )
 
     @abc.abstractmethod
     def fresh(self) -> "FederatedModel":
@@ -129,6 +159,14 @@ class NeuralModel(FederatedModel):
         loss = self.forward_loss(X, y)
         loss.backward()
         return float(loss.data), self.module.flat_grad()
+
+    def spawn_replica(self) -> "NeuralModel":
+        """Replica for a worker process.
+
+        Parameter tensors are graph leaves (no backward closures), so a
+        cloned module pickles cleanly.
+        """
+        return self.clone()
 
     def fresh(self) -> "NeuralModel":
         return type(self)(**self._init_kwargs())

@@ -84,38 +84,46 @@ class MultinomialLogisticRegression(FederatedModel):
         self.b = w[split:].copy()
 
     # ------------------------------------------------------------------ #
+    @property
+    def supports_stacked_eval(self) -> bool:
+        """The mean softmax NLL stacks exactly across client batches."""
+        return True
+
     def _scores(self, X: np.ndarray) -> np.ndarray:
         return X @ self.W + self.b
 
-    def loss(self, X: np.ndarray, y: np.ndarray) -> float:
-        X = np.asarray(X, dtype=np.float64)
-        y = np.asarray(y)
-        log_probs = _log_softmax(self._scores(X))
-        nll = -log_probs[np.arange(len(y)), y].mean()
+    def _forward_nll(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        """One softmax forward pass: ``(nll, log_probs, label_indices)``.
+
+        Shared by :meth:`loss` and :meth:`loss_and_gradient` so the fused
+        path never runs the forward twice.
+        """
+        log_probs = _log_softmax(self._scores(np.asarray(X, dtype=np.float64)))
+        idx = np.arange(len(y))
+        nll = -log_probs[idx, np.asarray(y)].mean()
         if self.l2 > 0:
-            nll += 0.5 * self.l2 * float(
-                np.sum(self.W**2) + np.sum(self.b**2)
-            )
-        return float(nll)
+            nll += 0.5 * self.l2 * float(np.sum(self.W**2) + np.sum(self.b**2))
+        return float(nll), log_probs, idx
+
+    def loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        return self._forward_nll(X, y)[0]
 
     def loss_and_gradient(self, X: np.ndarray, y: np.ndarray) -> Tuple[float, np.ndarray]:
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
-        n = len(y)
-        log_probs = _log_softmax(self._scores(X))
-        probs = np.exp(log_probs)
-        nll = -log_probs[np.arange(n), y].mean()
+        nll, log_probs, idx = self._forward_nll(X, y)
 
-        delta = probs
-        delta[np.arange(n), y] -= 1.0
-        delta /= n
+        delta = np.exp(log_probs)
+        delta[idx, y] -= 1.0
+        delta /= len(y)
         grad_w = X.T @ delta
         grad_b = delta.sum(axis=0)
         if self.l2 > 0:
-            nll += 0.5 * self.l2 * float(np.sum(self.W**2) + np.sum(self.b**2))
             grad_w = grad_w + self.l2 * self.W
             grad_b = grad_b + self.l2 * self.b
-        return float(nll), np.concatenate([grad_w.reshape(-1), grad_b])
+        return nll, np.concatenate([grad_w.reshape(-1), grad_b])
 
     def gradient(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.loss_and_gradient(X, y)[1]
@@ -126,6 +134,10 @@ class MultinomialLogisticRegression(FederatedModel):
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Class probabilities for each row of ``X``."""
         return np.exp(_log_softmax(self._scores(np.asarray(X, dtype=np.float64))))
+
+    def spawn_replica(self) -> "MultinomialLogisticRegression":
+        """Everything is plain NumPy state, so a clone pickles cheaply."""
+        return self.clone()
 
     def fresh(self) -> "MultinomialLogisticRegression":
         return MultinomialLogisticRegression(

@@ -1,0 +1,37 @@
+"""Round execution engine: pluggable serial/parallel round executors.
+
+The server loop delegates each round's batch of independent local solves —
+and federation-level evaluation — to a :class:`RoundExecutor`:
+
+* :class:`SerialExecutor` — in-process sequential execution (default;
+  the historical trainer behavior).
+* :class:`ParallelExecutor` — persistent multiprocess workers, each
+  holding its own model replica and data shard.
+
+Both produce bit-identical training histories for the same configuration;
+see :mod:`repro.runtime.executor` for the determinism contract and
+:mod:`repro.runtime.evaluation` for the vectorized evaluation fast paths.
+"""
+
+from .evaluation import (
+    EVAL_MODES,
+    STACKED_EVAL_BLOCK,
+    FederationEvaluator,
+    no_test_samples_error,
+    resolve_eval_mode,
+)
+from .executor import LocalTask, RoundExecutor, SerialExecutor, task_rng
+from .parallel import ParallelExecutor
+
+__all__ = [
+    "RoundExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "LocalTask",
+    "task_rng",
+    "FederationEvaluator",
+    "resolve_eval_mode",
+    "no_test_samples_error",
+    "EVAL_MODES",
+    "STACKED_EVAL_BLOCK",
+]

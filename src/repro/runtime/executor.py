@@ -1,0 +1,205 @@
+"""Pluggable round execution: how one round's local solves actually run.
+
+The server loop (:class:`repro.core.server.FederatedTrainer`) describes
+*what* happens each round — which devices are selected, which straggle, how
+updates aggregate.  A :class:`RoundExecutor` decides *how* the resulting
+batch of independent local solves is executed: in-process and sequential
+(:class:`SerialExecutor`, the default) or fanned out across persistent
+worker processes (:class:`~repro.runtime.parallel.ParallelExecutor`).
+
+Determinism contract
+--------------------
+A :class:`LocalTask` carries everything a solve depends on — the global
+model, the proximal coefficient, the work budget, and the *entropy tuple*
+``(seed, round, client, occurrence)`` from which the mini-batch generator
+is derived.  Executors must run each task as a pure function of its task
+description, so any two executors produce bit-identical
+:class:`~repro.core.client.ClientUpdate` lists for the same task list,
+regardless of worker count or scheduling order.  Results are always
+returned in task order.
+
+Evaluation is dispatched through the executor as well (``train_loss`` /
+``test_accuracy``); both built-in executors reduce per-client metrics in
+device order with shared reduction code, so evaluation is also bit-stable
+across executors.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .evaluation import FederationEvaluator, resolve_eval_mode
+
+if TYPE_CHECKING:  # avoid a circular import with repro.core
+    from ..core.client import Client, ClientUpdate
+    from ..datasets.federated import FederatedDataset
+    from ..models.base import FederatedModel
+    from ..optim.base import LocalSolver
+
+
+@dataclass(frozen=True)
+class LocalTask:
+    """A self-contained description of one device's local solve.
+
+    Attributes
+    ----------
+    client_id:
+        Device to run (also its index in the federation's client list).
+    w_global:
+        Round-start global model ``w_t``.
+    mu:
+        Proximal coefficient of the local subproblem.
+    epochs:
+        Work budget from the systems model (fractional for stragglers).
+    rng_entropy:
+        Integer entropy ``(seed, round, client, occurrence)`` from which
+        the mini-batch :class:`numpy.random.Generator` is derived — shipped
+        instead of a generator so workers rebuild identical randomness.
+    measure_gamma:
+        Also measure the solve's γ-inexactness (Definition 2).
+    correction:
+        Optional FedDane linear correction vector.
+    """
+
+    client_id: int
+    w_global: np.ndarray
+    mu: float
+    epochs: float
+    rng_entropy: Tuple[int, ...]
+    measure_gamma: bool = False
+    correction: Optional[np.ndarray] = None
+
+
+def task_rng(task: LocalTask) -> np.random.Generator:
+    """The task's mini-batch generator, identical in any process."""
+    return np.random.default_rng(np.random.SeedSequence(list(task.rng_entropy)))
+
+
+class RoundExecutor(abc.ABC):
+    """Executes batches of local solves and federation-level evaluation.
+
+    Lifecycle: the trainer calls :meth:`bind` once with the federation,
+    shared model, and solver; afterwards :meth:`run_local_solves`,
+    :meth:`train_loss` and :meth:`test_accuracy` may be called every round.
+    Executors owning external resources release them in :meth:`close`
+    (also invoked by the context-manager protocol).
+    """
+
+    def __init__(self) -> None:
+        self.dataset: Optional["FederatedDataset"] = None
+        self.model: Optional["FederatedModel"] = None
+        self.solver: Optional["LocalSolver"] = None
+        self.clients: List["Client"] = []
+        self.eval_mode: str = "per_client"
+        self.evaluator: Optional[FederationEvaluator] = None
+
+    # Lifecycle ---------------------------------------------------------- #
+    def bind(
+        self,
+        dataset: "FederatedDataset",
+        model: "FederatedModel",
+        solver: "LocalSolver",
+        clients: Optional[Sequence["Client"]] = None,
+        eval_mode: str = "auto",
+        label: str = "",
+    ) -> None:
+        """Attach the executor to a federation.
+
+        Parameters
+        ----------
+        dataset, model, solver:
+            The federation's data, shared model oracle, and local solver.
+        clients:
+            Prebuilt client list to share with the caller; built from the
+            dataset when omitted.
+        eval_mode:
+            Evaluation strategy (see :mod:`repro.runtime.evaluation`);
+            ``"auto"`` resolves against the model's capability.
+        label:
+            Federation display name for error messages.
+        """
+        from ..core.client import Client  # deferred: core imports runtime
+
+        self.dataset = dataset
+        self.model = model
+        self.solver = solver
+        self.clients = (
+            list(clients)
+            if clients is not None
+            else [Client(data, model, solver) for data in dataset]
+        )
+        self.eval_mode = resolve_eval_mode(model, eval_mode)
+        self.evaluator = FederationEvaluator(
+            self.clients, model, eval_mode=self.eval_mode, label=label
+        )
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses needing extra setup after :meth:`bind`."""
+
+    def ensure_started(self) -> None:
+        """Eagerly acquire any lazy resources (worker pools); idempotent."""
+
+    def close(self) -> None:
+        """Release executor-owned resources; the executor stays bound."""
+
+    def __enter__(self) -> "RoundExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @property
+    def n_workers(self) -> int:
+        """Degree of parallelism (1 for in-process execution)."""
+        return 1
+
+    def _require_bound(self) -> None:
+        if self.evaluator is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not bound; call bind() first "
+                "(FederatedTrainer does this automatically)"
+            )
+
+    # Round work --------------------------------------------------------- #
+    @abc.abstractmethod
+    def run_local_solves(self, tasks: Sequence[LocalTask]) -> List["ClientUpdate"]:
+        """Execute every task and return the updates in task order."""
+
+    def train_loss(self, w: np.ndarray) -> float:
+        """Global objective ``f(w)`` over the bound federation."""
+        self._require_bound()
+        return self.evaluator.train_loss(w)
+
+    def test_accuracy(self, w: np.ndarray) -> float:
+        """Sample-weighted global test accuracy over the bound federation."""
+        self._require_bound()
+        return self.evaluator.test_accuracy(w)
+
+
+class SerialExecutor(RoundExecutor):
+    """In-process sequential execution — the historical trainer behavior.
+
+    Local solves run one after another against the trainer's shared model;
+    evaluation delegates to the bound :class:`FederationEvaluator` (which
+    still benefits from the stacked fast path when the model supports it).
+    """
+
+    def run_local_solves(self, tasks: Sequence[LocalTask]) -> List["ClientUpdate"]:
+        self._require_bound()
+        return [
+            self.clients[task.client_id].local_solve(
+                w_global=task.w_global,
+                mu=task.mu,
+                epochs=task.epochs,
+                rng=task_rng(task),
+                correction=task.correction,
+                measure_gamma=task.measure_gamma,
+            )
+            for task in tasks
+        ]

@@ -135,6 +135,38 @@ class TestBackwardMechanics:
         assert x.numpy() is x.data
 
 
+class TestGradBufferReuse:
+    def test_buffer_reused_across_backward_passes(self):
+        """Leaf gradient storage is allocated once and reused after
+        zero_grad(), instead of reallocating every backward pass."""
+        x = Tensor(np.ones(4), requires_grad=True)
+        ops.mul(x, 2.0).sum().backward()
+        first_buffer = x.grad
+        np.testing.assert_allclose(first_buffer, 2.0)
+        x.zero_grad()
+        ops.mul(x, 3.0).sum().backward()
+        assert x.grad is first_buffer  # same preallocated storage
+        np.testing.assert_allclose(x.grad, 3.0)
+
+    def test_values_unchanged_by_buffer_reuse(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        for scale in (1.0, 5.0, -2.0):
+            x.zero_grad()
+            ops.mul(ops.mul(x, x), scale).sum().backward()
+            np.testing.assert_allclose(x.grad, 2.0 * scale * x.data)
+
+    def test_repeated_backward_on_same_root_uses_cached_order(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = ops.mul(x, x)
+        y.backward()
+        assert y._cached_order is not None
+        assert x.grad == pytest.approx(4.0)
+        # Second pass reuses the cached traversal; grads keep accumulating
+        # (the root's own seed accumulates too: y.grad 1 -> 2, so x gains 8).
+        y.backward()
+        assert x.grad == pytest.approx(12.0)
+
+
 class TestUnbroadcast:
     def test_identity_when_shapes_match(self):
         g = np.ones((2, 3))

@@ -102,6 +102,33 @@ class TestLossAndGradient:
         assert loss == pytest.approx(m.loss(X, y))
         np.testing.assert_allclose(grad, m.gradient(X, y))
 
+    @pytest.mark.parametrize("l2", [0.0, 0.05])
+    def test_fused_path_matches_separate_to_1e12(self, l2):
+        """The fused single-forward path equals loss() + a numerically
+        independent gradient (finite differences) to tight tolerance."""
+        X, y = _problem(n=14, dim=4, classes=3)
+        m = MultinomialLogisticRegression(
+            dim=4, num_classes=3, l2=l2, init_scale=0.4, seed=9
+        )
+        w0 = m.get_params()
+        fused_loss, fused_grad = m.loss_and_gradient(X, y)
+        # Loss must match the standalone forward bit-for-bit (shared helper).
+        assert abs(fused_loss - m.loss(X, y)) <= 1e-12
+        # Gradient must match an unfused reference assembled from the same
+        # forward quantities.
+        scores = X @ m.W + m.b
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        delta = probs
+        delta[np.arange(len(y)), y] -= 1.0
+        delta /= len(y)
+        ref_w = X.T @ delta + l2 * m.W
+        ref_b = delta.sum(axis=0) + l2 * m.b
+        reference = np.concatenate([ref_w.reshape(-1), ref_b])
+        np.testing.assert_allclose(fused_grad, reference, rtol=0, atol=1e-12)
+        m.set_params(w0)
+        assert m.loss(X, y) == fused_loss  # loss_and_gradient left params alone
+
     def test_gradient_descent_reduces_loss(self):
         rng = np.random.default_rng(3)
         X = rng.normal(size=(50, 5))

@@ -1,0 +1,249 @@
+"""Unit tests for the round execution engine (repro.runtime)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import FederatedTrainer, global_test_accuracy
+from repro.core.client import Client
+from repro.datasets import ClientData, FederatedDataset
+from repro.models import MultinomialLogisticRegression
+from repro.models.base import FederatedModel
+from repro.optim import SGDSolver
+from repro.runtime import (
+    FederationEvaluator,
+    LocalTask,
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_eval_mode,
+    task_rng,
+)
+
+
+def _bound_serial(dataset, eval_mode="auto"):
+    model = MultinomialLogisticRegression(dim=6, num_classes=3)
+    executor = SerialExecutor()
+    executor.bind(
+        dataset, model, SGDSolver(0.1, batch_size=8),
+        eval_mode=eval_mode, label=dataset.name,
+    )
+    return executor, model
+
+
+class TestLocalTask:
+    def test_rng_rebuilds_identically(self):
+        task = LocalTask(
+            client_id=0, w_global=np.zeros(3), mu=0.0, epochs=1.0,
+            rng_entropy=(7, 3, 0, 0),
+        )
+        a = task_rng(task).permutation(10)
+        b = task_rng(task).permutation(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_task_pickles(self):
+        task = LocalTask(
+            client_id=2, w_global=np.arange(4.0), mu=0.5, epochs=0.4,
+            rng_entropy=(1, 2, 3, 4), measure_gamma=True,
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.client_id == 2 and clone.rng_entropy == (1, 2, 3, 4)
+        np.testing.assert_array_equal(clone.w_global, task.w_global)
+
+
+class TestEvalModeResolution:
+    def test_auto_picks_stacked_for_logistic(self):
+        model = MultinomialLogisticRegression(dim=4, num_classes=2)
+        assert resolve_eval_mode(model, "auto") == "stacked"
+
+    def test_auto_falls_back_without_support(self):
+        class Plain(MultinomialLogisticRegression):
+            @property
+            def supports_stacked_eval(self):
+                return False
+
+        assert resolve_eval_mode(Plain(dim=4, num_classes=2), "auto") == "per_client"
+
+    def test_explicit_stacked_rejected_without_support(self):
+        class Plain(MultinomialLogisticRegression):
+            @property
+            def supports_stacked_eval(self):
+                return False
+
+        with pytest.raises(ValueError, match="stacked"):
+            resolve_eval_mode(Plain(dim=4, num_classes=2), "stacked")
+
+    def test_unknown_mode_rejected(self):
+        model = MultinomialLogisticRegression(dim=4, num_classes=2)
+        with pytest.raises(ValueError):
+            resolve_eval_mode(model, "vectorized")
+
+
+class TestFederationEvaluator:
+    def test_stacked_matches_per_client(self, toy_dataset):
+        """The fast path agrees with the legacy loop to fp precision."""
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        solver = SGDSolver(0.1)
+        clients = [Client(c, model, solver) for c in toy_dataset]
+        fast = FederationEvaluator(clients, model, eval_mode="stacked")
+        slow = FederationEvaluator(clients, model, eval_mode="per_client")
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            w = rng.normal(size=model.n_params)
+            assert fast.train_loss(w) == pytest.approx(
+                slow.train_loss(w), abs=1e-12
+            )
+            assert fast.test_accuracy(w) == slow.test_accuracy(w)
+
+    def test_no_test_samples_error_names_federation(self):
+        data = ClientData(
+            client_id=0,
+            train_x=np.zeros((4, 2)),
+            train_y=np.zeros(4, dtype=int),
+            test_x=np.zeros((0, 2)),
+            test_y=np.zeros(0, dtype=int),
+        )
+        dataset = FederatedDataset("trainonly", [data], num_classes=2, input_dim=2)
+        executor, model = _bound_serial(dataset)
+        with pytest.raises(ValueError, match="trainonly"):
+            executor.test_accuracy(np.zeros(model.n_params))
+
+
+class TestGlobalTestAccuracy:
+    def test_zero_test_clients_skipped(self, toy_dataset):
+        """Zero-test devices contribute nothing (and are not iterated)."""
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        solver = SGDSolver(0.1)
+        clients = [Client(c, model, solver) for c in toy_dataset]
+        w = np.zeros(model.n_params)
+        baseline = global_test_accuracy(clients, w)
+
+        empty = ClientData(
+            client_id=99,
+            train_x=np.zeros((4, 6)),
+            train_y=np.zeros(4, dtype=int),
+            test_x=np.zeros((0, 6)),
+            test_y=np.zeros(0, dtype=int),
+        )
+        clients.append(Client(empty, model, solver))
+        assert global_test_accuracy(clients, w) == baseline
+
+    def test_error_message_includes_label(self):
+        model = MultinomialLogisticRegression(dim=2, num_classes=2)
+        data = ClientData(
+            client_id=0,
+            train_x=np.zeros((3, 2)),
+            train_y=np.zeros(3, dtype=int),
+            test_x=np.zeros((0, 2)),
+            test_y=np.zeros(0, dtype=int),
+        )
+        clients = [Client(data, model, SGDSolver(0.1))]
+        with pytest.raises(ValueError, match="'mnist-like'"):
+            global_test_accuracy(clients, np.zeros(model.n_params), label="mnist-like")
+
+
+class TestSerialExecutor:
+    def test_trainer_defaults_to_serial(self, toy_dataset):
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        trainer = FederatedTrainer(
+            dataset=toy_dataset, model=model,
+            solver=SGDSolver(0.1, batch_size=8), clients_per_round=3,
+        )
+        assert isinstance(trainer.executor, SerialExecutor)
+        assert trainer.executor.clients is not None
+
+    def test_unbound_executor_rejects_work(self):
+        executor = SerialExecutor()
+        with pytest.raises(RuntimeError, match="bind"):
+            executor.run_local_solves([])
+
+    def test_solves_match_direct_client_calls(self, toy_dataset):
+        executor, model = _bound_serial(toy_dataset)
+        w = np.zeros(model.n_params)
+        task = LocalTask(
+            client_id=1, w_global=w, mu=0.5, epochs=2.0,
+            rng_entropy=(0, 0, 1, 0),
+        )
+        [update] = executor.run_local_solves([task])
+        direct = executor.clients[1].local_solve(
+            w_global=w, mu=0.5, epochs=2.0, rng=task_rng(task)
+        )
+        np.testing.assert_array_equal(update.w, direct.w)
+        assert update.client_id == 1
+
+
+class _NoReplicaModel(MultinomialLogisticRegression):
+    """A model that opts out of the replica protocol."""
+
+    def spawn_replica(self):
+        raise NotImplementedError("no replicas here")
+
+
+class TestParallelExecutorContracts:
+    def test_missing_spawn_replica_fails_loudly(self, toy_dataset):
+        """No silent serialization: binding must raise TypeError."""
+        with pytest.raises(TypeError, match="spawn_replica"):
+            FederatedTrainer(
+                dataset=toy_dataset,
+                model=_NoReplicaModel(dim=6, num_classes=3),
+                solver=SGDSolver(0.1, batch_size=8),
+                clients_per_round=3,
+                executor=ParallelExecutor(n_workers=2),
+            )
+
+    def test_base_default_raises_not_implemented(self):
+        model = MultinomialLogisticRegression(dim=4, num_classes=2)
+        with pytest.raises(NotImplementedError, match="spawn_replica"):
+            FederatedModel.spawn_replica(model)
+
+    def test_logistic_replica_is_independent(self):
+        model = MultinomialLogisticRegression(dim=4, num_classes=2)
+        replica = model.spawn_replica()
+        assert replica is not model
+        np.testing.assert_array_equal(replica.get_params(), model.get_params())
+        replica.set_params(np.ones(model.n_params))
+        assert not np.array_equal(replica.get_params(), model.get_params())
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(n_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunksize=0)
+
+    def test_replica_survives_pickle(self):
+        model = MultinomialLogisticRegression(dim=5, num_classes=3, l2=0.1)
+        replica = pickle.loads(pickle.dumps(model.spawn_replica()))
+        X = np.random.default_rng(0).normal(size=(7, 5))
+        y = np.array([0, 1, 2, 0, 1, 2, 0])
+        w = np.random.default_rng(1).normal(size=model.n_params)
+        model.set_params(w)
+        replica.set_params(w)
+        assert replica.loss(X, y) == model.loss(X, y)
+
+
+@pytest.mark.slow
+class TestParallelExecutorEndToEnd:
+    def test_empty_task_list(self, toy_dataset):
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        executor = ParallelExecutor(n_workers=2)
+        executor.bind(toy_dataset, model, SGDSolver(0.1, batch_size=8))
+        try:
+            assert executor.run_local_solves([]) == []
+        finally:
+            executor.close()
+
+    def test_pool_survives_multiple_rounds_and_close_is_idempotent(
+        self, toy_dataset
+    ):
+        model = MultinomialLogisticRegression(dim=6, num_classes=3)
+        trainer = FederatedTrainer(
+            dataset=toy_dataset, model=model,
+            solver=SGDSolver(0.1, batch_size=8), clients_per_round=3,
+            executor=ParallelExecutor(n_workers=2),
+        )
+        with trainer:
+            history = trainer.run(2)
+            assert len(history) == 2
+        trainer.close()  # second close is a no-op
