@@ -2,7 +2,7 @@
 
 Runs ``scripts/bench_runtime.py --quick`` as a subprocess (the harness must
 work standalone, the way EXPERIMENTS.md invokes it) and checks the emitted
-``BENCH_runtime.json`` covers all three engine configurations.  Marked
+``BENCH_runtime.json`` covers all four engine configurations.  Marked
 ``slow`` because the parallel mode spins up a process pool.
 """
 
@@ -39,7 +39,8 @@ def test_bench_runtime_quick(benchmark, tmp_path):
     assert payload["quick"] is True
     assert payload["cpu_count"] >= 1
     modes = {row["mode"] for row in payload["results"]}
-    assert modes == {"serial-legacy", "serial-fast", "parallel"}
+    assert modes == {"serial-legacy", "serial-fast", "parallel", "cohort"}
     for row in payload["results"]:
         assert row["rounds_per_sec"] > 0
         assert "speedup_vs_serial" in row
+        assert "speedup_vs_serial_fast" in row

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Benchmark the round execution engine: serial vs parallel rounds/sec.
+"""Benchmark the round execution engine: serial vs parallel vs cohort.
 
 Times communication rounds on the paper's Synthetic(1, 1) dataset across
-federation sizes (10 / 100 / 1000 devices by default) for three engine
+federation sizes (10 / 100 / 1000 devices by default) for four engine
 configurations:
 
 ``serial-legacy``
@@ -12,17 +12,26 @@ configurations:
     Sequential solves with the vectorized (stacked) evaluation fast path.
 ``parallel``
     ``ParallelExecutor`` workers plus stacked evaluation.
+``cohort``
+    ``CohortExecutor`` — all selected clients' proximal SGD epochs advance
+    simultaneously through stacked ``(K, d)`` NumPy kernels.
 
-Writes ``BENCH_runtime.json`` with rounds/sec per configuration and the
-speedup of each mode over ``serial-legacy``, establishing the repo's perf
-trajectory baseline.  The host's ``cpu_count`` is recorded alongside: on a
-single-core container the parallel numbers are overhead-bound and the
-speedup there comes from the evaluation fast path alone.
+The default local-epoch budget is the paper's dominant setting ``E = 20``
+(FedProx synthetic/FEMNIST experiments), which is exactly the regime the
+cohort fast path targets: thousands of tiny per-device GEMMs per round.
+The host's ``cpu_count`` is recorded alongside: on a single-core container
+the parallel numbers are overhead-bound (the speedup there comes from the
+evaluation fast path alone), while the cohort numbers reflect the stacked
+local solve.
+
+Writes ``BENCH_runtime.json`` with rounds/sec per configuration and each
+mode's speedup over ``serial-legacy`` and ``serial-fast``.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_runtime.py            # full sweep
     PYTHONPATH=src python scripts/bench_runtime.py --quick    # CI-sized
+    PYTHONPATH=src python scripts/bench_runtime.py --quick --smoke  # assert-only
 """
 
 from __future__ import annotations
@@ -40,10 +49,15 @@ from repro.core import FederatedTrainer  # noqa: E402
 from repro.datasets import make_synthetic  # noqa: E402
 from repro.models import MultinomialLogisticRegression  # noqa: E402
 from repro.optim import SGDSolver  # noqa: E402
-from repro.runtime import ParallelExecutor, RoundExecutor, SerialExecutor  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    CohortExecutor,
+    ParallelExecutor,
+    RoundExecutor,
+    SerialExecutor,
+)
 from repro.systems import FractionStragglers  # noqa: E402
 
-MODES = ("serial-legacy", "serial-fast", "parallel")
+MODES = ("serial-legacy", "serial-fast", "parallel", "cohort")
 
 
 def build_trainer(
@@ -64,6 +78,8 @@ def build_trainer(
         executor = SerialExecutor()
     elif mode == "parallel":
         executor = ParallelExecutor(n_workers=workers)
+    elif mode == "cohort":
+        executor = CohortExecutor()
     else:
         raise ValueError(f"unknown mode {mode!r}")
     return FederatedTrainer(
@@ -80,13 +96,30 @@ def build_trainer(
     )
 
 
-def time_rounds(trainer: FederatedTrainer, rounds: int) -> float:
-    """Seconds spent on ``rounds`` rounds, excluding pool/cache warmup."""
+def time_rounds(trainer: FederatedTrainer, rounds: int) -> tuple:
+    """``(total_seconds, solve_seconds)`` for ``rounds`` timed rounds.
+
+    The pool/cache warmup round runs outside the clock.  ``solve_seconds``
+    isolates the local-solve phase (the round execution engine proper) from
+    federation-wide evaluation, whose cost grows with *total* devices while
+    the solve phase only sees the selected cohort — at 1000 devices the
+    full-loop number is evaluation-dominated for every mode.
+    """
     trainer.executor.ensure_started()
-    trainer.run_round()  # warm caches (stacked arrays) outside the clock
+    trainer.run_round()  # warm caches (stacked arrays, workspaces)
+    solve_seconds = [0.0]
+    inner = trainer.executor.run_local_solves
+
+    def timed_solves(tasks):
+        t0 = time.perf_counter()
+        result = inner(tasks)
+        solve_seconds[0] += time.perf_counter() - t0
+        return result
+
+    trainer.executor.run_local_solves = timed_solves
     start = time.perf_counter()
     trainer.run(rounds)
-    return time.perf_counter() - start
+    return time.perf_counter() - start, solve_seconds[0]
 
 
 def run_benchmark(
@@ -96,14 +129,17 @@ def run_benchmark(
     for num_devices in devices:
         dataset = make_synthetic(1.0, 1.0, num_devices=num_devices, seed=0)
         per_mode = {}
+        per_mode_solve = {}
         for mode in MODES:
             trainer = build_trainer(dataset, mode, workers, epochs)
             try:
-                elapsed = time_rounds(trainer, rounds)
+                elapsed, solve_elapsed = time_rounds(trainer, rounds)
             finally:
                 trainer.close()
             rounds_per_sec = rounds / elapsed
+            solve_rounds_per_sec = rounds / solve_elapsed
             per_mode[mode] = rounds_per_sec
+            per_mode_solve[mode] = solve_rounds_per_sec
             results.append(
                 {
                     "devices": num_devices,
@@ -112,16 +148,27 @@ def run_benchmark(
                     "rounds": rounds,
                     "seconds": round(elapsed, 4),
                     "rounds_per_sec": round(rounds_per_sec, 3),
+                    "solve_seconds": round(solve_elapsed, 4),
+                    "solve_rounds_per_sec": round(solve_rounds_per_sec, 3),
                 }
             )
             print(
                 f"devices={num_devices:5d}  {mode:14s}  "
-                f"{rounds_per_sec:8.2f} rounds/s  ({elapsed:.3f}s)"
+                f"{rounds_per_sec:8.2f} rounds/s  "
+                f"(solve-only {solve_rounds_per_sec:8.2f})  ({elapsed:.3f}s)"
             )
         legacy = per_mode["serial-legacy"]
+        fast = per_mode["serial-fast"]
+        fast_solve = per_mode_solve["serial-fast"]
         for row in results:
             if row["devices"] == num_devices:
                 row["speedup_vs_serial"] = round(per_mode[row["mode"]] / legacy, 3)
+                row["speedup_vs_serial_fast"] = round(
+                    per_mode[row["mode"]] / fast, 3
+                )
+                row["solve_speedup_vs_serial_fast"] = round(
+                    per_mode_solve[row["mode"]] / fast_solve, 3
+                )
     return {
         "benchmark": "runtime round execution engine",
         "dataset": "synthetic(1,1)",
@@ -129,8 +176,38 @@ def run_benchmark(
         "workers": workers,
         "rounds_timed": rounds,
         "local_epochs": epochs,
+        "notes": {
+            "solve_metrics": (
+                "solve_* columns isolate the local-solve phase from "
+                "federation-wide evaluation; evaluation cost is identical "
+                "across modes and grows with total devices, so at 1000 "
+                "devices every full-loop number is evaluation-dominated."
+            ),
+            "cohort_scaling": (
+                "The cohort solve speedup per round is bounded by budget "
+                "skew sum(T_k)/max(T_k): once the straggler with the "
+                "largest step budget is the only active row, the stacked "
+                "kernel degenerates to a sequential width-1 chain. At "
+                "1000 devices the sampled cohorts regularly contain one "
+                "dominant device (power-law sizes), which caps the "
+                "solve-phase gain below the 10/100-device rows."
+            ),
+        },
         "results": results,
     }
+
+
+def check_smoke(payload: dict) -> None:
+    """Assert-only validation of a smoke-sized payload (CI wiring)."""
+    modes = {row["mode"] for row in payload["results"]}
+    assert modes == set(MODES), f"missing modes: {set(MODES) - modes}"
+    for row in payload["results"]:
+        assert row["rounds_per_sec"] > 0, row
+        assert row["seconds"] > 0, row
+        assert row["solve_rounds_per_sec"] > 0, row
+        assert "speedup_vs_serial" in row and "speedup_vs_serial_fast" in row
+        assert "solve_speedup_vs_serial_fast" in row
+    assert payload["cpu_count"] >= 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -142,11 +219,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--rounds", type=int, default=5, help="timed rounds")
     parser.add_argument("--workers", type=int, default=4, help="parallel workers")
     parser.add_argument(
-        "--epochs", type=float, default=2.0, help="local epochs E per round"
+        "--epochs", type=float, default=20.0,
+        help="local epochs E per round (paper default: 20)",
     )
     parser.add_argument(
         "--quick", action="store_true",
-        help="CI-sized run: 100 devices, 3 rounds, 1 local epoch",
+        help="CI-sized run: 100 devices, 3 rounds, 2 local epochs",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smoke test: shrink further, assert the payload, write nothing",
     )
     parser.add_argument(
         "--output", default="BENCH_runtime.json", help="output JSON path"
@@ -156,11 +238,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.quick:
         args.devices = [100]
         args.rounds = 3
+        args.epochs = 2.0
+    if args.smoke:
+        args.devices = [10]
+        args.rounds = 1
         args.epochs = 1.0
 
     payload = run_benchmark(args.devices, args.rounds, args.workers, args.epochs)
     payload["quick"] = bool(args.quick)
     payload["generated_unix"] = int(time.time())
+
+    if args.smoke:
+        # Exercise every engine mode end to end without touching the
+        # committed benchmark numbers.
+        check_smoke(payload)
+        print("smoke OK: all engine modes ran and produced valid rows")
+        return 0
+
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

@@ -26,7 +26,7 @@ results.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -130,11 +130,16 @@ class FederatedTrainer:
         :class:`~repro.core.callbacks.EarlyStopping`).
     executor:
         Round execution engine; defaults to
-        :class:`~repro.runtime.executor.SerialExecutor`.  A
-        :class:`~repro.runtime.parallel.ParallelExecutor` runs each round's
-        local solves on persistent worker processes and yields bit-identical
-        histories (see :mod:`repro.runtime`).  Call :meth:`close` (or use
-        the trainer as a context manager) to release executor resources.
+        :class:`~repro.runtime.executor.SerialExecutor`.  Accepts either a
+        :class:`~repro.runtime.executor.RoundExecutor` instance or a mode
+        string — ``"serial"``, ``"parallel"`` (persistent worker
+        processes), or ``"cohort"`` (all selected clients' local solves
+        advanced simultaneously through stacked NumPy kernels; requires a
+        model advertising ``supports_stacked_local_solve`` and a solver
+        advertising ``supports_stacked_solve``).  All engines yield
+        bit-comparable histories (see :mod:`repro.runtime`).  Call
+        :meth:`close` (or use the trainer as a context manager) to release
+        executor resources.
     eval_mode:
         Federation evaluation strategy — ``"auto"`` (default; vectorized
         stacked evaluation when the model supports it), ``"per_client"``
@@ -164,7 +169,7 @@ class FederatedTrainer:
         dissimilarity_max_clients: Optional[int] = None,
         cost_tracker: Optional[CostTracker] = None,
         callbacks: Optional[List[Callback]] = None,
-        executor: Optional[RoundExecutor] = None,
+        executor: Optional[Union[RoundExecutor, str]] = None,
         eval_mode: str = "auto",
         label: str = "",
     ) -> None:
@@ -200,6 +205,10 @@ class FederatedTrainer:
         self.clients: List[Client] = [
             Client(data, model, solver) for data in dataset
         ]
+        if isinstance(executor, str):
+            from ..runtime import make_executor
+
+            executor = make_executor(executor)
         self.executor = executor or SerialExecutor()
         self.executor.bind(
             dataset,

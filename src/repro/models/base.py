@@ -15,7 +15,7 @@ implement it:
 from __future__ import annotations
 
 import abc
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +79,65 @@ class FederatedModel(abc.ABC):
         enabled when this holds.
         """
         return False
+
+    @property
+    def supports_stacked_local_solve(self) -> bool:
+        """Whether the model implements :meth:`stacked_gradient`.
+
+        Mirrors :attr:`supports_stacked_eval` for the *local solve* hot
+        path: the cohort round executor
+        (:class:`repro.runtime.cohort.CohortExecutor`) batches all selected
+        clients' proximal SGD epochs into one stacked kernel, which needs
+        the model to evaluate mini-batch gradients over a leading client
+        axis.  Gated capability, not a silent fallback.
+        """
+        return False
+
+    def stacked_gradient(
+        self,
+        W: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        mask: Optional[np.ndarray],
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Per-client mini-batch gradients over a leading client axis.
+
+        Parameters
+        ----------
+        W:
+            ``(K, n_params)`` — one flat parameter vector per client.
+        X:
+            ``(K, B, ...)`` — per-client mini-batches, zero-padded to the
+            cohort's widest batch ``B``.
+        y:
+            ``(K, B)`` integer labels (padding entries hold a valid class
+            index, conventionally 0).
+        mask:
+            ``(K, B)`` float mask — 1.0 on real samples, 0.0 on padding —
+            or ``None``, promising every row is full (no padding).  The
+            cohort loop passes ``None`` on fully-dense steps so kernels can
+            skip the identity multiply.
+        counts:
+            ``(K,)`` float — real samples per row (the mini-batch sizes).
+            The cohort loop may instead pass the kernel-shaped ``(K, 1, 1)``
+            view so implementations can divide without reshaping per step.
+
+        Returns
+        -------
+        np.ndarray
+            ``(K, n_params)`` gradients of each client's *mean* mini-batch
+            loss at its own parameter row.  Row ``k`` must equal (bitwise,
+            or to ulp-level rounding) ``self.gradient(X_k, y_k)`` evaluated
+            at ``W[k]`` — the cohort determinism contract rests on it.
+            Implementations may return a reused internal buffer: the value
+            is only guaranteed until the next ``stacked_gradient`` call, so
+            callers that keep gradients must copy.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement stacked_gradient(); "
+            "cohort round execution needs batched per-client gradients"
+        )
 
     def clone(self) -> "FederatedModel":
         """A structurally identical model with independently-owned parameters.

@@ -59,6 +59,7 @@ class MultinomialLogisticRegression(FederatedModel):
         self.l2 = float(l2)
         self.seed = seed
         self.init_scale = float(init_scale)
+        self._stacked_ws: Optional[dict] = None
         rng = np.random.default_rng(seed)
         if init_scale > 0:
             self.W = rng.normal(0.0, init_scale, size=(dim, num_classes))
@@ -127,6 +128,99 @@ class MultinomialLogisticRegression(FederatedModel):
 
     def gradient(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
         return self.loss_and_gradient(X, y)[1]
+
+    @property
+    def supports_stacked_local_solve(self) -> bool:
+        """Closed-form gradients batch exactly over a leading client axis."""
+        return True
+
+    def _stacked_workspace(self, K: int, B: int) -> dict:
+        """Preallocated scratch for :meth:`stacked_gradient`.
+
+        The cohort loop calls the kernel thousands of times per round on a
+        handful of distinct ``(K, B)`` shapes (the active width only shrinks
+        at budget boundaries), so caching one workspace per current shape
+        removes every per-step allocation from the hot path.
+        """
+        ws = self._stacked_ws
+        if ws is None or ws["KB"] != (K, B):
+            C = self.num_classes
+            ws = {
+                "KB": (K, B),
+                "scores": np.empty((K, B, C)),
+                "expbuf": np.empty((K, B, C)),
+                "red": np.empty((K, B, 1)),
+                # Flat positions of (row, col, label) triples in ``scores``:
+                # label_base[k, j] + y[k, j] indexes scores.reshape(-1).
+                "label_base": (
+                    (np.arange(K)[:, None] * B + np.arange(B)[None, :]) * C
+                ),
+                "grad_w": np.empty((K, self.dim, C)),
+                "grad_b": np.empty((K, C)),
+                "out": np.empty((K, self.n_params)),
+                "W_views": None,  # (id(W), Wk, bk) cache, see stacked_gradient
+            }
+            self._stacked_ws = ws
+        return ws
+
+    def stacked_gradient(
+        self,
+        W: np.ndarray,
+        X: np.ndarray,
+        y: np.ndarray,
+        mask: Optional[np.ndarray],
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Batched softmax-NLL gradients, one parameter row per client.
+
+        Replays :meth:`loss_and_gradient`'s exact operation sequence
+        (stable log-softmax, subtract-one-at-label, divide by the batch
+        size) over a leading client axis; padding rows are zeroed by the
+        mask before the backward GEMMs, so they contribute exact zeros.
+        All intermediates live in a cached workspace (every op writes
+        ``out=`` into preallocated buffers), so the returned array is only
+        valid until the next call — copy it to persist.
+        """
+        K, B = X.shape[0], X.shape[1]
+        split = self.dim * self.num_classes
+        ws = self._stacked_workspace(K, B)
+        # The cohort loop passes the *same* W buffer for every step of a
+        # constant-width segment, so the reshape/slice views are cached by
+        # identity.  Holding the views keeps W alive, which guarantees its
+        # id cannot be recycled while the cache entry exists.
+        views = ws["W_views"]
+        if views is None or views[0] is not W:
+            Wk = W[:, :split].reshape(K, self.dim, self.num_classes)
+            bk = W[:, split:]
+            views = (W, Wk, bk, bk[:, None, :])
+            ws["W_views"] = views
+        _, Wk, bk, bk_b = views
+
+        scores = ws["scores"]
+        np.matmul(X, Wk, out=scores)
+        scores += bk_b
+        red = ws["red"]
+        scores.max(axis=2, keepdims=True, out=red)
+        np.subtract(scores, red, out=scores)  # shifted
+        np.exp(scores, out=ws["expbuf"])
+        ws["expbuf"].sum(axis=2, keepdims=True, out=red)
+        np.log(red, out=red)
+        np.subtract(scores, red, out=scores)  # log_probs
+        delta = np.exp(scores, out=scores)
+
+        delta.reshape(-1)[(ws["label_base"] + y).ravel()] -= 1.0
+        delta /= counts if counts.ndim == 3 else counts[:, None, None]
+        if mask is not None:
+            delta *= mask[:, :, None]
+        grad_w = np.matmul(X.transpose(0, 2, 1), delta, out=ws["grad_w"])
+        grad_b = delta.sum(axis=1, out=ws["grad_b"])
+        if self.l2 > 0:
+            grad_w += self.l2 * Wk
+            grad_b += self.l2 * bk
+        out = ws["out"]
+        out[:, :split] = grad_w.reshape(K, split)
+        out[:, split:] = grad_b
+        return out
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return self._scores(np.asarray(X, dtype=np.float64)).argmax(axis=1)

@@ -1,7 +1,13 @@
-"""Local solvers and local-subproblem objectives."""
+"""Local solvers, local-subproblem objectives, and batch scheduling."""
 
 from .adam import AdamSolver
-from .base import LocalSolver, epoch_batches
+from .base import (
+    BatchSchedule,
+    LocalSolver,
+    batches_per_epoch,
+    epoch_batches,
+    work_batches,
+)
 from .inexactness import gamma_inexactness, is_gamma_inexact
 from .proximal import LocalObjective
 from .sgd import GDSolver, MomentumSGDSolver, SGDSolver
@@ -9,7 +15,10 @@ from .sgd import GDSolver, MomentumSGDSolver, SGDSolver
 __all__ = [
     "LocalSolver",
     "LocalObjective",
+    "BatchSchedule",
     "epoch_batches",
+    "batches_per_epoch",
+    "work_batches",
     "SGDSolver",
     "MomentumSGDSolver",
     "GDSolver",

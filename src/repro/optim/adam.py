@@ -7,9 +7,11 @@ SGD inside the same FedProx server loop.
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
-from .base import LocalSolver, work_batches
+from .base import BatchSchedule, LocalSolver, work_batches
 from .proximal import LocalObjective
 
 
@@ -73,4 +75,57 @@ class AdamSolver(LocalSolver):
         return w
 
     def describe(self) -> str:
-        return f"Adam(lr={self.learning_rate}, B={self.batch_size})"
+        return (
+            f"Adam(lr={self.learning_rate}, B={self.batch_size}, "
+            "stacked=yes, stateless=per-solve)"
+        )
+
+    # Stacked cohort protocol -------------------------------------------- #
+    @property
+    def supports_stacked_solve(self) -> bool:
+        return True
+
+    def stacked_plan(
+        self, n_samples: int, epochs: float, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        return BatchSchedule(n_samples, self.batch_size, epochs).materialize(rng)
+
+    def stacked_state(self, shape: tuple) -> dict:
+        # Fresh zeroed moments per cohort solve: the stateless-device
+        # contract (moment state never leaks across rounds) holds exactly
+        # as in the scalar path, where solve() re-zeros m and v.
+        return {
+            "m": np.zeros(shape, dtype=np.float64),
+            "v": np.zeros(shape, dtype=np.float64),
+            "scratch": np.empty(shape, dtype=np.float64),
+            "scratch2": np.empty(shape, dtype=np.float64),
+        }
+
+    def stacked_step(
+        self, W: np.ndarray, G: np.ndarray, state: dict, step: int
+    ) -> None:
+        # Every active row has taken exactly ``step - 1`` prior steps
+        # (clients only ever drop out of the stacked loop), so one global
+        # bias-correction exponent serves the whole cohort.
+        a = len(W)
+        m = state["m"][:a]
+        v = state["v"][:a]
+        scratch = state["scratch"][:a]
+        scratch2 = state["scratch2"][:a]
+        # m = beta1 * m + (1 - beta1) * grad, same association as scalar.
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(G, 1 - self.beta1, out=scratch)
+        m += scratch
+        # v = beta2 * v + (1 - beta2) * grad**2
+        np.multiply(v, self.beta2, out=v)
+        np.power(G, 2, out=scratch)
+        np.multiply(scratch, 1 - self.beta2, out=scratch)
+        v += scratch
+        # w -= lr * m_hat / (sqrt(v_hat) + eps)
+        np.divide(m, 1 - self.beta1**step, out=scratch)   # m_hat
+        np.multiply(scratch, self.learning_rate, out=scratch)
+        np.divide(v, 1 - self.beta2**step, out=scratch2)  # v_hat
+        np.sqrt(scratch2, out=scratch2)
+        scratch2 += self.eps
+        np.divide(scratch, scratch2, out=scratch)
+        np.subtract(W, scratch, out=W)

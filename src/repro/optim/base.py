@@ -1,65 +1,142 @@
-"""Local solver interface.
+"""Local solver interface and the mini-batch schedule API.
 
 FedProx is explicitly *solver-agnostic*: any procedure that produces a
 γ-inexact minimizer of the local subproblem is admissible (paper §3.2).
 :class:`LocalSolver` captures that contract — a solver receives a
 :class:`~repro.optim.proximal.LocalObjective`, a starting point, and a
 work budget (epochs), and returns the approximate minimizer.
+
+Mini-batch schedules
+--------------------
+All batching logic lives in :class:`BatchSchedule`, the single source of
+truth for how a device's work budget turns into shuffled mini-batches.
+The historical helpers ``epoch_batches`` / ``batches_per_epoch`` /
+``work_batches`` are retained as thin wrappers so existing call sites keep
+working; new code should construct a :class:`BatchSchedule` directly.
+
+Determinism: a schedule consumes the supplied ``rng`` exactly one
+``permutation(n_samples)`` draw per *started* epoch, in order.  The cohort
+fast path (:mod:`repro.runtime.cohort`) relies on this to replay the same
+batch sequence the scalar solvers draw, making both paths bit-comparable.
+
+Stacked (cohort) solve protocol
+-------------------------------
+Solvers that can run many clients' local solves simultaneously over a
+``(K, n_params)`` weight matrix advertise ``supports_stacked_solve`` and
+implement three hooks used by :class:`repro.runtime.cohort.CohortExecutor`:
+
+``stacked_plan(n_samples, epochs, rng)``
+    The per-client mini-batch index schedule (list of index arrays), drawn
+    from ``rng`` exactly as the scalar ``solve`` would draw it.
+``stacked_state(shape)``
+    Preallocated workspace buffers for a cohort of ``shape = (K, d)``.
+``stacked_step(W, G, state, step)``
+    Apply one update in place to the *active* rows ``W`` (a ``(A, d)``
+    prefix view) given subproblem gradients ``G``; ``step`` is the 1-based
+    global step index (every active client has taken exactly ``step - 1``
+    prior steps, because clients only ever drop out of the stacked loop).
+    Must perform the same floating-point operations, in the same order, as
+    one scalar ``solve`` iteration so the two paths agree bitwise.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from .proximal import LocalObjective
 
 
+class BatchSchedule:
+    """Mini-batch schedule for ``epochs`` passes over ``n_samples`` points.
+
+    Parameters
+    ----------
+    n_samples:
+        Device sample count (must be positive).
+    batch_size:
+        Mini-batch size; when ``batch_size >= n_samples`` every "epoch" is
+        a single full-data batch (still shuffled).
+    epochs:
+        Work budget in passes over the data; fractional budgets (straggler
+        devices) round to the nearest batch count, with a minimum of one
+        batch so every participating device does *some* work.
+    """
+
+    def __init__(
+        self, n_samples: int, batch_size: int, epochs: float = 1.0
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        self.n_samples = int(n_samples)
+        self.batch_size = int(batch_size)
+        self.epochs = float(epochs)
+
+    @property
+    def per_epoch(self) -> int:
+        """Mini-batches in one epoch (final partial batch included)."""
+        if self.batch_size >= self.n_samples:
+            return 1
+        return -(-self.n_samples // self.batch_size)  # ceil division
+
+    @property
+    def total(self) -> int:
+        """Mini-batches in the whole budget (``>= 1``)."""
+        return max(1, int(round(self.epochs * self.per_epoch)))
+
+    def one_epoch(self, rng: np.random.Generator) -> List[np.ndarray]:
+        """One shuffled epoch's batches (one ``permutation`` draw).
+
+        The final partial batch is kept, matching common SGD practice and
+        the reference implementation's behaviour.
+        """
+        order = rng.permutation(self.n_samples)
+        if self.batch_size >= self.n_samples:
+            return [order]
+        return [
+            order[start : start + self.batch_size]
+            for start in range(0, self.n_samples, self.batch_size)
+        ]
+
+    def batches(self, rng: np.random.Generator) -> Iterator[np.ndarray]:
+        """Yield :attr:`total` mini-batches, reshuffling at epoch starts."""
+        done = 0
+        total = self.total
+        while done < total:
+            for batch in self.one_epoch(rng):
+                yield batch
+                done += 1
+                if done >= total:
+                    return
+
+    def materialize(self, rng: np.random.Generator) -> List[np.ndarray]:
+        """The full batch sequence as a list (for the cohort planner)."""
+        return list(self.batches(rng))
+
+
 def epoch_batches(
     n_samples: int, batch_size: int, rng: np.random.Generator
 ) -> list:
-    """Split a shuffled index range into mini-batches for one epoch.
-
-    The final partial batch is kept (matching common SGD practice and the
-    reference implementation's behaviour).
-    """
-    order = rng.permutation(n_samples)
-    if batch_size >= n_samples:
-        return [order]
-    return [
-        order[start : start + batch_size]
-        for start in range(0, n_samples, batch_size)
-    ]
+    """Split a shuffled index range into mini-batches for one epoch."""
+    return BatchSchedule(n_samples, batch_size).one_epoch(rng)
 
 
 def batches_per_epoch(n_samples: int, batch_size: int) -> int:
     """Number of mini-batches in one epoch (final partial batch included)."""
-    if batch_size >= n_samples:
-        return 1
-    return -(-n_samples // batch_size)  # ceil division
+    return BatchSchedule(n_samples, batch_size).per_epoch
 
 
 def work_batches(
     n_samples: int, batch_size: int, epochs: float, rng: np.random.Generator
 ):
-    """Yield mini-batches amounting to ``epochs`` passes over the data.
-
-    ``epochs`` may be fractional — the systems simulator hands stragglers
-    partial budgets (e.g. 0.4 of an epoch when ``E = 1``).  At least one
-    batch is always yielded so every participating device does *some* work.
-    """
-    if epochs < 0:
-        raise ValueError("epochs must be non-negative")
-    per_epoch = batches_per_epoch(n_samples, batch_size)
-    total = max(1, int(round(epochs * per_epoch)))
-    done = 0
-    while done < total:
-        for batch in epoch_batches(n_samples, batch_size, rng):
-            yield batch
-            done += 1
-            if done >= total:
-                return
+    """Yield mini-batches amounting to ``epochs`` passes over the data."""
+    return BatchSchedule(n_samples, batch_size, epochs).batches(rng)
 
 
 class LocalSolver(abc.ABC):
@@ -95,3 +172,37 @@ class LocalSolver(abc.ABC):
     def describe(self) -> str:
         """Short human-readable description, used in experiment logs."""
         return type(self).__name__
+
+    # Stacked (cohort) solve protocol ------------------------------------ #
+    @property
+    def supports_stacked_solve(self) -> bool:
+        """Whether the solver implements the stacked cohort hooks below."""
+        return False
+
+    def stacked_plan(
+        self, n_samples: int, epochs: float, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        """One client's mini-batch index schedule for a cohort solve.
+
+        Must consume ``rng`` exactly as :meth:`solve` does, so the cohort
+        path replays the scalar path's batch order.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support stacked cohort solves"
+        )
+
+    def stacked_state(self, shape: tuple) -> Optional[dict]:
+        """Preallocated workspace for a cohort solve over ``shape=(K, d)``."""
+        return None
+
+    def stacked_step(
+        self,
+        W: np.ndarray,
+        G: np.ndarray,
+        state: Optional[dict],
+        step: int,
+    ) -> None:
+        """Apply one in-place update to the active rows of the cohort."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support stacked cohort solves"
+        )

@@ -1,4 +1,4 @@
-"""Round execution engine: pluggable serial/parallel round executors.
+"""Round execution engine: pluggable serial/parallel/cohort executors.
 
 The server loop delegates each round's batch of independent local solves —
 and federation-level evaluation — to a :class:`RoundExecutor`:
@@ -7,12 +7,17 @@ and federation-level evaluation — to a :class:`RoundExecutor`:
   the historical trainer behavior).
 * :class:`ParallelExecutor` — persistent multiprocess workers, each
   holding its own model replica and data shard.
+* :class:`CohortExecutor` — in-process *stacked* execution: all selected
+  clients' proximal SGD epochs advance simultaneously through batched
+  ``(K, d)`` NumPy kernels (the local-solve hot path's fast path).
 
-Both produce bit-identical training histories for the same configuration;
-see :mod:`repro.runtime.executor` for the determinism contract and
+All produce bit-comparable training histories for the same configuration;
+see :mod:`repro.runtime.executor` for the determinism contract,
+:mod:`repro.runtime.cohort` for the stacked local-solve fast path, and
 :mod:`repro.runtime.evaluation` for the vectorized evaluation fast paths.
 """
 
+from .cohort import CohortExecutor, solve_cohort
 from .evaluation import (
     EVAL_MODES,
     STACKED_EVAL_BLOCK,
@@ -23,10 +28,35 @@ from .evaluation import (
 from .executor import LocalTask, RoundExecutor, SerialExecutor, task_rng
 from .parallel import ParallelExecutor
 
+EXECUTOR_MODES = ("serial", "parallel", "cohort")
+
+
+def make_executor(mode: str, **kwargs) -> RoundExecutor:
+    """Build a round executor from its mode name.
+
+    ``kwargs`` are forwarded to the executor constructor (e.g.
+    ``n_workers`` for ``"parallel"``).  The trainer accepts these mode
+    strings directly in its ``executor`` argument.
+    """
+    if mode == "serial":
+        return SerialExecutor(**kwargs)
+    if mode == "parallel":
+        return ParallelExecutor(**kwargs)
+    if mode == "cohort":
+        return CohortExecutor(**kwargs)
+    raise ValueError(
+        f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"
+    )
+
+
 __all__ = [
     "RoundExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "CohortExecutor",
+    "solve_cohort",
+    "make_executor",
+    "EXECUTOR_MODES",
     "LocalTask",
     "task_rng",
     "FederationEvaluator",

@@ -1,0 +1,244 @@
+"""Vectorized cohort local solver: one stacked kernel for a whole round.
+
+The scalar path runs each selected device's local epochs one mini-batch at
+a time through ``model.set_params()`` + ``loss_and_gradient()`` — a
+10-client round with ``E = 20`` epochs issues thousands of tiny GEMMs,
+each paying full Python/NumPy dispatch overhead.  The paper's headline
+experiments (1000-device synthetic and FEMNIST logistic models) are
+exactly the workload where stacking pays off:
+:class:`CohortExecutor` packs the K selected clients' weight vectors into
+a ``(K, d)`` matrix and advances *all* clients' FedProx local solves
+simultaneously with batched kernels.
+
+Mechanics
+---------
+* **Scheduling.**  Each task's mini-batch schedule is drawn from the same
+  ``(seed, round, client, occurrence)`` entropy tuple as the scalar path
+  (:func:`~repro.runtime.executor.task_rng` + the solver's
+  ``stacked_plan``), so batch orders are identical by construction.
+* **Ragged data.**  The cohort's selected training shards are concatenated
+  once per round (plus one zero pad row); each step gathers a
+  ``(K, B, ...)`` block through a precomputed index tensor whose padding
+  entries point at the pad row.  A float mask zeroes padding contributions
+  before the backward GEMMs, so padded rows add exact ``±0.0`` terms.
+* **Stragglers.**  Clients are sorted by descending batch budget, making
+  the active set a shrinking *prefix* of the stack: a straggler whose
+  fractional epoch budget is exhausted simply drops out of the stacked
+  loop (its rows — weights and any solver state — freeze), and no masking
+  or gather is needed for dropout.  Results are restored to task order at
+  the end.
+* **Determinism.**  Model kernels (``stacked_gradient``) and solver steps
+  (``stacked_step``) replicate the scalar path's floating-point operation
+  order; the proximal term ``µ(w_k − w_t)`` and optional FedDane
+  correction are applied row-wise exactly as
+  :class:`~repro.optim.proximal.LocalObjective` applies them.  Histories
+  match :class:`~repro.runtime.executor.SerialExecutor` bitwise on the
+  GEMM-accumulation-stable kernels and within 1e-12 otherwise (enforced
+  by ``tests/test_runtime_cohort.py``).  γ-inexactness is measured with
+  the *same* :class:`LocalObjective` code the scalar path uses, so γ
+  statistics agree to the same precision.
+
+Capability gating mirrors the evaluation fast path: the model must
+advertise ``supports_stacked_local_solve`` and the solver
+``supports_stacked_solve``; binding anything else raises ``TypeError`` —
+cohort execution never silently degrades to serial.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+from .executor import LocalTask, RoundExecutor, task_rng
+
+if TYPE_CHECKING:  # avoid a circular import with repro.core
+    from ..core.client import Client, ClientUpdate
+    from ..models.base import FederatedModel
+    from ..optim.base import LocalSolver
+
+# Upper bound on the per-chunk batch staging buffer (gathered X blocks).
+# Big enough to amortize the fancy-index gather over hundreds of steps,
+# small enough to stay cache/memory friendly at any federation scale.
+_GATHER_CHUNK_BYTES = 8 << 20
+
+
+def solve_cohort(
+    tasks: Sequence[LocalTask],
+    clients: Sequence["Client"],
+    model: "FederatedModel",
+    solver: "LocalSolver",
+) -> List["ClientUpdate"]:
+    """Run every task's local solve in one stacked loop; task-order results."""
+    from ..core.client import ClientUpdate  # deferred: core imports runtime
+    from ..optim.inexactness import gamma_inexactness
+
+    K = len(tasks)
+    d = model.n_params
+
+    # Per-task batch schedules, drawn exactly as the scalar solver draws
+    # them (one permutation per started epoch from the task's entropy).
+    plans = [
+        solver.stacked_plan(
+            clients[task.client_id].data.num_train, task.epochs, task_rng(task)
+        )
+        for task in tasks
+    ]
+
+    # Sort by descending budget so the active set is always a prefix.
+    # ``sorted`` is stable: equal budgets keep task order.
+    order = sorted(range(K), key=lambda i: -len(plans[i]))
+    budgets = [len(plans[i]) for i in order]
+    t_max = budgets[0]
+    b_max = max(len(batch) for i in order for batch in plans[i])
+
+    # Concatenate the cohort's shards once; the final row is a zero pad
+    # target for out-of-batch gather indices.
+    xs, ys, offsets = [], [], []
+    base = 0
+    for i in order:
+        data = clients[tasks[i].client_id].data
+        xs.append(data.train_x)
+        ys.append(data.train_y)
+        offsets.append(base)
+        base += data.num_train
+    feat_shape = xs[0].shape[1:]
+    x_cat = np.zeros((base + 1,) + feat_shape, dtype=np.float64)
+    x_cat[:base] = np.concatenate(xs).astype(np.float64, copy=False)
+    y_cat = np.zeros(base + 1, dtype=np.int64)
+    y_cat[:base] = np.concatenate(ys)
+    pad = base  # index of the zero row
+
+    # Precomputed gather plan: indices, masks and batch sizes per step.
+    # Built with one vectorized scatter per client row — a Python loop over
+    # every (step, sample) would cost more than the stacked solve itself.
+    idx = np.full((t_max, K, b_max), pad, dtype=np.int64)
+    mask = np.zeros((t_max, K, b_max), dtype=np.float64)
+    counts = np.ones((t_max, K), dtype=np.float64)
+    for row, i in enumerate(order):
+        batches = plans[i]
+        T = len(batches)
+        flat = np.concatenate(batches)
+        flat += offsets[row]
+        lens = np.fromiter((len(b) for b in batches), dtype=np.int64, count=T)
+        step_of = np.repeat(np.arange(T), lens)
+        col_of = np.arange(len(flat)) - np.repeat(np.cumsum(lens) - lens, lens)
+        idx[step_of, row, col_of] = flat
+        mask[step_of, row, col_of] = 1.0
+        counts[:T, row] = lens
+    counts3 = counts[:, :, None, None]  # kernel-shaped (t, K, 1, 1) view
+
+    # Stacked weights: each row starts from its task's w_t, float64 copies
+    # exactly as the scalar solvers take them.
+    W = np.empty((K, d), dtype=np.float64)
+    for row, i in enumerate(order):
+        W[row] = np.asarray(tasks[i].w_global, dtype=np.float64)
+    W_ref = W.copy()
+    mus = np.array([tasks[i].mu for i in order], dtype=np.float64)
+    any_mu = bool(np.any(mus > 0))
+    corrections = [tasks[i].correction for i in order]
+    any_corr = any(c is not None for c in corrections)
+
+    state = solver.stacked_state((K, d))
+    prox = np.empty((K, d), dtype=np.float64)
+    feat_size = int(np.prod(feat_shape)) if feat_shape else 1
+
+    # The active set shrinks only at budget boundaries, so the step loop
+    # decomposes into segments of constant width ``a``: steps
+    # ``[budgets[a], budgets[a-1])`` run exactly the first ``a`` rows.
+    # Within a segment, batches for many steps are gathered in one fancy
+    # index (chunked to bound the staging buffer), so the per-step Python
+    # cost is one kernel call plus slice views.
+    stacked_gradient = model.stacked_gradient
+    stacked_step = solver.stacked_step
+    for a in range(K, 0, -1):
+        seg_lo = budgets[a] if a < K else 0
+        seg_hi = budgets[a - 1]
+        if seg_hi <= seg_lo:
+            continue  # tied budgets: this width never occurs
+        Wa = W[:a]
+        Wr = W_ref[:a]
+        mua = mus[:a, None]
+        diff = prox[:a]
+        chunk = max(1, _GATHER_CHUNK_BYTES // max(1, a * b_max * feat_size * 8))
+        for lo in range(seg_lo, seg_hi, chunk):
+            hi = min(lo + chunk, seg_hi)
+            Xc = x_cat[idx[lo:hi, :a]]
+            yc = y_cat[idx[lo:hi, :a]]
+            mc = mask[lo:hi, :a]
+            cc = counts3[lo:hi, :a]
+            # Fully-dense steps (no ragged batch in any active row) skip the
+            # identity mask multiply — multiplying by all-ones is bitwise
+            # neutral, so skipping it cannot perturb the histories.
+            dense = mc.all(axis=(1, 2))
+            for s in range(hi - lo):
+                G = stacked_gradient(
+                    Wa, Xc[s], yc[s], None if dense[s] else mc[s], cc[s]
+                )
+                if any_mu:
+                    # grad + mu * (w - w_ref), as in LocalObjective.
+                    np.subtract(Wa, Wr, out=diff)
+                    diff *= mua
+                    G += diff
+                if any_corr:
+                    for row in range(a):
+                        if corrections[row] is not None:
+                            G[row] += corrections[row]
+                stacked_step(Wa, G, state, lo + s + 1)
+
+    # Restore task order and emit updates with the scalar path's metadata.
+    updates: List["ClientUpdate"] = [None] * K  # type: ignore[list-item]
+    for row, i in enumerate(order):
+        task = tasks[i]
+        client = clients[task.client_id]
+        w_local = W[row].copy()
+        gamma = None
+        if task.measure_gamma:
+            objective = client.make_objective(
+                task.w_global, task.mu, correction=task.correction
+            )
+            gamma = gamma_inexactness(objective, w_local, task.w_global)
+        updates[i] = ClientUpdate(
+            client_id=task.client_id,
+            w=w_local,
+            num_train=client.data.num_train,
+            epochs=task.epochs,
+            gradient_evaluations=len(plans[i]),
+            gamma=gamma,
+        )
+    return updates
+
+
+class CohortExecutor(RoundExecutor):
+    """In-process round execution through the stacked cohort fast path.
+
+    Requires a model advertising ``supports_stacked_local_solve`` and a
+    solver advertising ``supports_stacked_solve``; anything else fails at
+    bind time with ``TypeError`` (mirroring
+    :class:`~repro.runtime.parallel.ParallelExecutor`'s replica gating).
+    Evaluation shares the bound :class:`FederationEvaluator`, so it is
+    identical to the serial path.
+    """
+
+    def _on_bind(self) -> None:
+        if not getattr(self.model, "supports_stacked_local_solve", False):
+            raise TypeError(
+                f"CohortExecutor requires a model implementing the stacked "
+                f"local-solve protocol; {type(self.model).__name__} does not "
+                "advertise supports_stacked_local_solve. Implement "
+                "stacked_gradient() or use SerialExecutor — cohort execution "
+                "will not silently fall back to serial."
+            )
+        if not getattr(self.solver, "supports_stacked_solve", False):
+            raise TypeError(
+                f"CohortExecutor requires a solver implementing the stacked "
+                f"solve protocol; {type(self.solver).__name__} does not "
+                "advertise supports_stacked_solve. Implement stacked_plan/"
+                "stacked_state/stacked_step or use SerialExecutor."
+            )
+
+    def run_local_solves(self, tasks: Sequence[LocalTask]) -> List["ClientUpdate"]:
+        self._require_bound()
+        if not tasks:
+            return []
+        return solve_cohort(tasks, self.clients, self.model, self.solver)

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +35,31 @@ if TYPE_CHECKING:  # avoid a circular import with repro.core
 
 # Per-worker-process state, populated once by _init_worker.
 _WORKER: dict = {}
+
+# One-time oversubscription warning (per process); see _warn_oversubscribed.
+_OVERSUBSCRIPTION_WARNED = False
+
+
+def _warn_oversubscribed(requested: int, available: int) -> None:
+    """Warn once when more workers are requested than cores exist.
+
+    Multiprocess execution is IPC-overhead-bound when oversubscribed — the
+    committed ``BENCH_runtime.json`` records parallel at 0.72x serial on a
+    1-core container — so flag the configuration instead of silently
+    running slower than serial.
+    """
+    global _OVERSUBSCRIPTION_WARNED
+    if _OVERSUBSCRIPTION_WARNED:
+        return
+    _OVERSUBSCRIPTION_WARNED = True
+    warnings.warn(
+        f"ParallelExecutor: {requested} workers requested but only "
+        f"{available} CPU core(s) are available; oversubscribed "
+        "multiprocess execution is typically slower than SerialExecutor. "
+        "Use n_workers='auto' to match the host core count.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _init_worker(dataset, model, solver) -> None:
@@ -83,7 +109,11 @@ class ParallelExecutor(RoundExecutor):
     Parameters
     ----------
     n_workers:
-        Worker process count; defaults to ``os.cpu_count()``.
+        Worker process count; defaults to ``os.cpu_count()``.  Pass
+        ``"auto"`` for the same heuristic made explicit — the worker count
+        is capped at ``os.cpu_count()`` so the pool never oversubscribes.
+        Requesting more workers than available cores emits a one-time
+        ``RuntimeWarning`` (oversubscribed pools are overhead-bound).
     start_method:
         Multiprocessing start method (``"fork"`` where available, else
         ``"spawn"``).  Results are identical either way; ``"fork"`` starts
@@ -101,12 +131,22 @@ class ParallelExecutor(RoundExecutor):
 
     def __init__(
         self,
-        n_workers: Optional[int] = None,
+        n_workers: Optional[Union[int, str]] = None,
         start_method: Optional[str] = None,
         chunksize: int = 1,
     ) -> None:
         super().__init__()
-        resolved = int(n_workers) if n_workers is not None else (os.cpu_count() or 1)
+        available = os.cpu_count() or 1
+        if n_workers is None or n_workers == "auto":
+            resolved = available
+        elif isinstance(n_workers, str):
+            raise ValueError(
+                f"n_workers must be an int or 'auto', got {n_workers!r}"
+            )
+        else:
+            resolved = int(n_workers)
+            if resolved > available:
+                _warn_oversubscribed(resolved, available)
         if resolved < 1:
             raise ValueError("n_workers must be at least 1")
         if chunksize < 1:

@@ -214,3 +214,56 @@ class TestOtherSolvers:
             w = solver.solve(obj, w0, 2, np.random.default_rng(0))
             assert w.shape == w0.shape
             assert solver.describe()
+
+
+class TestAdamStatelessness:
+    """Moment state must reset between solves (stateless-device contract)."""
+
+    def test_scalar_solves_are_independent(self):
+        obj, model = _objective()
+        w0 = np.zeros(model.n_params)
+        solver = AdamSolver(0.05)
+        first = solver.solve(obj, w0, 3, np.random.default_rng(0))
+        again = solver.solve(obj, w0, 3, np.random.default_rng(0))
+        # A second solve from the same start must not see the first solve's
+        # moments: identical inputs -> identical trajectory.
+        np.testing.assert_array_equal(first, again)
+
+    def test_stacked_state_resets_moments_per_solve(self):
+        solver = AdamSolver(0.05)
+        shape = (4, 7)
+        state = solver.stacked_state(shape)
+        assert np.all(state["m"] == 0.0) and np.all(state["v"] == 0.0)
+        # Dirty the state as a cohort solve would, then confirm a fresh
+        # request starts zeroed again (no leakage across cohort solves).
+        W = np.ones(shape)
+        G = np.full(shape, 0.5)
+        solver.stacked_step(W, G, state, step=1)
+        assert np.any(state["m"] != 0.0)
+        fresh = solver.stacked_state(shape)
+        assert np.all(fresh["m"] == 0.0) and np.all(fresh["v"] == 0.0)
+        assert fresh["m"] is not state["m"]
+
+    def test_stacked_step_matches_scalar_update(self):
+        """One stacked step row-for-row equals one scalar Adam update."""
+        solver = AdamSolver(0.01, beta1=0.9, beta2=0.999)
+        rng = np.random.default_rng(3)
+        W = rng.normal(size=(3, 5))
+        G = rng.normal(size=(3, 5))
+        expected = []
+        for k in range(3):
+            w = W[k].copy()
+            m = solver.beta1 * np.zeros(5) + (1 - solver.beta1) * G[k]
+            v = solver.beta2 * np.zeros(5) + (1 - solver.beta2) * G[k] ** 2
+            m_hat = m / (1 - solver.beta1**1)
+            v_hat = v / (1 - solver.beta2**1)
+            w -= solver.learning_rate * m_hat / (np.sqrt(v_hat) + solver.eps)
+            expected.append(w)
+        state = solver.stacked_state((3, 5))
+        solver.stacked_step(W, G.copy(), state, step=1)
+        np.testing.assert_array_equal(W, np.array(expected))
+
+    def test_describe_reports_stacked_and_stateless(self):
+        text = AdamSolver(0.001).describe()
+        assert "stacked=yes" in text
+        assert "stateless" in text

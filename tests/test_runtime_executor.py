@@ -247,3 +247,50 @@ class TestParallelExecutorEndToEnd:
             history = trainer.run(2)
             assert len(history) == 2
         trainer.close()  # second close is a no-op
+
+
+class TestParallelWorkerHeuristics:
+    """n_workers='auto' and the one-time oversubscription guardrail."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warning_flag(self):
+        from repro.runtime import parallel
+
+        parallel._OVERSUBSCRIPTION_WARNED = False
+        yield
+        parallel._OVERSUBSCRIPTION_WARNED = False
+
+    def test_auto_matches_cpu_count(self):
+        import os
+
+        executor = ParallelExecutor(n_workers="auto")
+        assert executor.n_workers == (os.cpu_count() or 1)
+
+    def test_default_none_matches_auto(self):
+        assert (
+            ParallelExecutor(n_workers=None).n_workers
+            == ParallelExecutor(n_workers="auto").n_workers
+        )
+
+    def test_auto_never_warns(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ParallelExecutor(n_workers="auto")
+
+    def test_invalid_string_rejected(self):
+        with pytest.raises(ValueError, match="'auto'"):
+            ParallelExecutor(n_workers="all-of-them")
+
+    def test_oversubscription_warns_exactly_once(self):
+        import os
+        import warnings
+
+        requested = (os.cpu_count() or 1) + 7
+        with pytest.warns(RuntimeWarning, match="oversubscribed"):
+            ParallelExecutor(n_workers=requested)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            executor = ParallelExecutor(n_workers=requested)
+        assert executor.n_workers == requested  # request honored, not capped
