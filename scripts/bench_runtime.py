@@ -16,6 +16,13 @@ configurations:
     ``CohortExecutor`` — all selected clients' proximal SGD epochs advance
     simultaneously through stacked ``(K, d)`` NumPy kernels.
 
+Every measured run is instrumented with ``repro.telemetry``: the
+solve-vs-eval phase split comes from the trainer's ``phase:local_solve`` /
+``phase:evaluate`` spans (not ad-hoc timers), and the full event stream is
+written as a JSONL artifact (``--telemetry-out``, default
+``BENCH_runtime_telemetry.jsonl``) — one manifest header per measured
+configuration followed by its span/metric events.
+
 The default local-epoch budget is the paper's dominant setting ``E = 20``
 (FedProx synthetic/FEMNIST experiments), which is exactly the regime the
 cohort fast path targets: thousands of tiny per-device GEMMs per round.
@@ -25,7 +32,9 @@ evaluation fast path alone), while the cohort numbers reflect the stacked
 local solve.
 
 Writes ``BENCH_runtime.json`` with rounds/sec per configuration and each
-mode's speedup over ``serial-legacy`` and ``serial-fast``.
+mode's speedup over ``serial-legacy`` and ``serial-fast``, plus the
+measured ``NullTelemetry`` overhead fraction (asserted < 2% of round wall
+time in ``--smoke`` mode — disabled telemetry must stay near-free).
 
 Usage::
 
@@ -56,8 +65,20 @@ from repro.runtime import (  # noqa: E402
     SerialExecutor,
 )
 from repro.systems import FractionStragglers  # noqa: E402
+from repro.telemetry import (  # noqa: E402
+    NULL_TELEMETRY,
+    InMemorySink,
+    JSONLSink,
+    Telemetry,
+)
 
 MODES = ("serial-legacy", "serial-fast", "parallel", "cohort")
+
+#: Telemetry events the trainer emits per round with K=10 and eval every
+#: round: 1 round span + 4 phase spans + ~10 solve:client spans + 2 eval
+#: spans + ~10 metric events, rounded up.  Used to project the per-round
+#: cost of *disabled* telemetry from the measured per-call null cost.
+NULL_CALLS_PER_ROUND = 40
 
 
 def build_trainer(
@@ -66,6 +87,7 @@ def build_trainer(
     workers: int,
     epochs: float,
     seed: int = 0,
+    telemetry=None,
 ) -> FederatedTrainer:
     """One FedProx trainer per (dataset, engine mode) measurement."""
     model = MultinomialLogisticRegression(dim=60, num_classes=10)
@@ -93,49 +115,95 @@ def build_trainer(
         seed=seed,
         executor=executor,
         eval_mode=eval_mode,
+        telemetry=telemetry,
+        label=f"bench-{mode}",
     )
 
 
-def time_rounds(trainer: FederatedTrainer, rounds: int) -> tuple:
-    """``(total_seconds, solve_seconds)`` for ``rounds`` timed rounds.
+def time_rounds(trainer: FederatedTrainer, rounds: int, sink: InMemorySink) -> dict:
+    """Time ``rounds`` rounds; phase splits come from telemetry spans.
 
-    The pool/cache warmup round runs outside the clock.  ``solve_seconds``
-    isolates the local-solve phase (the round execution engine proper) from
-    federation-wide evaluation, whose cost grows with *total* devices while
-    the solve phase only sees the selected cohort — at 1000 devices the
+    The pool/cache warmup round (round 0) runs outside the clock and its
+    spans are excluded.  ``solve_seconds`` / ``eval_seconds`` are the
+    summed ``phase:local_solve`` / ``phase:evaluate`` span durations of
+    the timed rounds — the solve phase only sees the selected cohort while
+    evaluation cost grows with *total* devices, so at 1000 devices the
     full-loop number is evaluation-dominated for every mode.
     """
     trainer.executor.ensure_started()
     trainer.run_round()  # warm caches (stacked arrays, workspaces)
-    solve_seconds = [0.0]
-    inner = trainer.executor.run_local_solves
-
-    def timed_solves(tasks):
-        t0 = time.perf_counter()
-        result = inner(tasks)
-        solve_seconds[0] += time.perf_counter() - t0
-        return result
-
-    trainer.executor.run_local_solves = timed_solves
     start = time.perf_counter()
     trainer.run(rounds)
-    return time.perf_counter() - start, solve_seconds[0]
+    elapsed = time.perf_counter() - start
+
+    def phase_sum(name: str) -> float:
+        return sum(
+            e["duration"]
+            for e in sink.spans(name)
+            if e["round"] is not None and e["round"] >= 1
+        )
+
+    return {
+        "seconds": elapsed,
+        "solve_seconds": phase_sum("phase:local_solve"),
+        "eval_seconds": phase_sum("phase:evaluate"),
+    }
+
+
+def measure_null_overhead(round_seconds: float) -> dict:
+    """Project disabled-telemetry overhead as a fraction of round time.
+
+    Times the two ``NullTelemetry`` primitives the hot path touches (a
+    no-op span enter/exit and a swallowed metric call), multiplies by the
+    events a fully instrumented round would emit, and divides by the
+    measured round wall time.  This is the cost every user pays when
+    telemetry is *off* — asserted under 2% by ``--smoke``.
+    """
+    telemetry = NULL_TELEMETRY
+    iterations = 20000
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with telemetry.span("bench"):
+            pass
+        telemetry.metric("bench", 0.0)
+    per_pair = (time.perf_counter() - t0) / iterations
+    per_round = per_pair * NULL_CALLS_PER_ROUND / 2.0
+    return {
+        "null_call_pair_seconds": per_pair,
+        "null_per_round_seconds": per_round,
+        "round_seconds": round_seconds,
+        "overhead_fraction": per_round / round_seconds if round_seconds else 0.0,
+    }
 
 
 def run_benchmark(
-    devices: List[int], rounds: int, workers: int, epochs: float
+    devices: List[int],
+    rounds: int,
+    workers: int,
+    epochs: float,
+    telemetry_out: Optional[str] = None,
 ) -> dict:
+    if telemetry_out:
+        open(telemetry_out, "w").close()  # truncate; runs append below
     results = []
     for num_devices in devices:
         dataset = make_synthetic(1.0, 1.0, num_devices=num_devices, seed=0)
         per_mode = {}
         per_mode_solve = {}
         for mode in MODES:
-            trainer = build_trainer(dataset, mode, workers, epochs)
+            sink = InMemorySink()
+            sinks = [sink]
+            if telemetry_out:
+                sinks.append(JSONLSink(telemetry_out, append=True))
+            trainer = build_trainer(
+                dataset, mode, workers, epochs, telemetry=Telemetry(sinks)
+            )
             try:
-                elapsed, solve_elapsed = time_rounds(trainer, rounds)
+                timing = time_rounds(trainer, rounds, sink)
             finally:
                 trainer.close()
+            elapsed = timing["seconds"]
+            solve_elapsed = timing["solve_seconds"]
             rounds_per_sec = rounds / elapsed
             solve_rounds_per_sec = rounds / solve_elapsed
             per_mode[mode] = rounds_per_sec
@@ -150,6 +218,8 @@ def run_benchmark(
                     "rounds_per_sec": round(rounds_per_sec, 3),
                     "solve_seconds": round(solve_elapsed, 4),
                     "solve_rounds_per_sec": round(solve_rounds_per_sec, 3),
+                    "eval_seconds": round(timing["eval_seconds"], 4),
+                    "telemetry_events": len(sink.events),
                 }
             )
             print(
@@ -169,6 +239,16 @@ def run_benchmark(
                 row["solve_speedup_vs_serial_fast"] = round(
                     per_mode_solve[row["mode"]] / fast_solve, 3
                 )
+
+    serial_fast_rows = [r for r in results if r["mode"] == "serial-fast"]
+    mean_round = sum(r["seconds"] / r["rounds"] for r in serial_fast_rows) / len(
+        serial_fast_rows
+    )
+    null_overhead = measure_null_overhead(mean_round)
+    print(
+        f"null-telemetry overhead: {100 * null_overhead['overhead_fraction']:.4f}% "
+        f"of a serial-fast round"
+    )
     return {
         "benchmark": "runtime round execution engine",
         "dataset": "synthetic(1,1)",
@@ -176,12 +256,15 @@ def run_benchmark(
         "workers": workers,
         "rounds_timed": rounds,
         "local_epochs": epochs,
+        "telemetry_artifact": telemetry_out,
+        "null_telemetry_overhead": null_overhead,
         "notes": {
             "solve_metrics": (
-                "solve_* columns isolate the local-solve phase from "
-                "federation-wide evaluation; evaluation cost is identical "
-                "across modes and grows with total devices, so at 1000 "
-                "devices every full-loop number is evaluation-dominated."
+                "solve_*/eval_* columns come from the telemetry "
+                "phase:local_solve / phase:evaluate spans (warmup round "
+                "excluded); evaluation cost is identical across modes and "
+                "grows with total devices, so at 1000 devices every "
+                "full-loop number is evaluation-dominated."
             ),
             "cohort_scaling": (
                 "The cohort solve speedup per round is bounded by budget "
@@ -191,6 +274,12 @@ def run_benchmark(
                 "1000 devices the sampled cohorts regularly contain one "
                 "dominant device (power-law sizes), which caps the "
                 "solve-phase gain below the 10/100-device rows."
+            ),
+            "telemetry": (
+                "All timed runs are instrumented (InMemorySink + optional "
+                "JSONL artifact), so mode comparisons are "
+                "apples-to-apples; null_telemetry_overhead projects the "
+                "cost of the default disabled path."
             ),
         },
         "results": results,
@@ -205,9 +294,29 @@ def check_smoke(payload: dict) -> None:
         assert row["rounds_per_sec"] > 0, row
         assert row["seconds"] > 0, row
         assert row["solve_rounds_per_sec"] > 0, row
+        assert row["telemetry_events"] > 0, row
         assert "speedup_vs_serial" in row and "speedup_vs_serial_fast" in row
         assert "solve_speedup_vs_serial_fast" in row
     assert payload["cpu_count"] >= 1
+    overhead = payload["null_telemetry_overhead"]["overhead_fraction"]
+    assert overhead < 0.02, (
+        f"disabled-telemetry overhead {100 * overhead:.3f}% exceeds the 2% "
+        "budget — NullTelemetry must stay near-free"
+    )
+
+
+def check_artifact(path: str) -> None:
+    """Sanity-check the emitted JSONL artifact (one manifest per mode)."""
+    from repro.telemetry import read_jsonl
+
+    events = read_jsonl(path)
+    assert events, f"{path} is empty"
+    manifests = [e for e in events if e["type"] == "manifest"]
+    spans = [e for e in events if e["type"] == "span"]
+    assert manifests and spans, "artifact must hold manifests and spans"
+    assert events[0]["type"] == "manifest", "manifest must lead the artifact"
+    labels = {m["label"] for m in manifests}
+    assert labels == {f"bench-{mode}" for mode in MODES}, labels
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -228,10 +337,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="smoke test: shrink further, assert the payload, write nothing",
+        help="smoke test: shrink further, assert the payload, write no JSON",
     )
     parser.add_argument(
         "--output", default="BENCH_runtime.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="telemetry JSONL artifact path (default: derived from "
+        "--output as <output>_telemetry.jsonl; disabled in --smoke unless "
+        "given explicitly)",
     )
     args = parser.parse_args(argv)
 
@@ -243,10 +358,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.devices = [10]
         args.rounds = 1
         args.epochs = 1.0
+    telemetry_out = args.telemetry_out
+    if telemetry_out is None and not args.smoke:
+        telemetry_out = os.path.splitext(args.output)[0] + "_telemetry.jsonl"
 
-    payload = run_benchmark(args.devices, args.rounds, args.workers, args.epochs)
+    payload = run_benchmark(
+        args.devices, args.rounds, args.workers, args.epochs, telemetry_out
+    )
     payload["quick"] = bool(args.quick)
     payload["generated_unix"] = int(time.time())
+
+    if telemetry_out:
+        check_artifact(telemetry_out)
+        print(f"wrote telemetry artifact {telemetry_out}")
 
     if args.smoke:
         # Exercise every engine mode end to end without touching the

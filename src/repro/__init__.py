@@ -21,7 +21,19 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import autograd, core, datasets, io, metrics, models, nn, optim, systems, theory
+from . import (
+    autograd,
+    core,
+    datasets,
+    io,
+    metrics,
+    models,
+    nn,
+    optim,
+    systems,
+    telemetry,
+    theory,
+)
 
 __all__ = [
     "autograd",
@@ -32,6 +44,7 @@ __all__ = [
     "systems",
     "core",
     "metrics",
+    "telemetry",
     "theory",
     "io",
     "__version__",

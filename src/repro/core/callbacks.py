@@ -5,6 +5,17 @@ request early termination.  :class:`EarlyStopping` applies the paper's own
 convergence/divergence criteria (Appendix C.3.2) online, so long runs stop
 as soon as the stopping point that Figure 7's protocol would pick is
 reached.
+
+Ordering relative to telemetry: the trainer emits a round's telemetry
+events (the ``round`` span, its phase spans, and the round's metric
+events) *inside* ``run_round``, before any callback's
+:meth:`Callback.on_round_end` fires — so a callback may inspect an
+:class:`~repro.telemetry.InMemorySink` and find the current round's events
+already recorded.  :meth:`Callback.on_train_end` fires after the trainer's
+final fill-in evaluation (and its ``phase:final_evaluate`` span), i.e.
+after the run's last telemetry event, but before the trainer flushes its
+sinks.  Early stopping therefore never loses the final-evaluation event
+(enforced by ``tests/test_telemetry_integration.py``).
 """
 
 from __future__ import annotations
@@ -17,19 +28,25 @@ from ..metrics.convergence import (
     DIVERGENCE_JUMP,
     DIVERGENCE_WINDOW,
 )
-from .history import RoundRecord
+from .history import RoundRecord, TrainingHistory
 
 
 class Callback(abc.ABC):
     """Observer of training rounds.
 
     Subclasses implement :meth:`on_round_end`; returning ``True`` asks the
-    trainer to stop after the current round.
+    trainer to stop after the current round.  :meth:`on_train_end` is an
+    optional hook invoked once when :meth:`~repro.core.server.FederatedTrainer.run`
+    finishes (normally or via early stop), after the final fill-in
+    evaluation.
     """
 
     @abc.abstractmethod
     def on_round_end(self, record: RoundRecord) -> bool:
         """Handle a finished round; return ``True`` to stop training."""
+
+    def on_train_end(self, history: TrainingHistory) -> None:
+        """Handle the end of a training run (default: no-op)."""
 
 
 class EarlyStopping(Callback):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -33,6 +33,12 @@ class ClientUpdate:
     gamma:
         Measured γ-inexactness of the solve (Definition 2), when the
         trainer requested it; ``None`` otherwise.
+    timings:
+        Wall-clock phase durations (seconds) collected where the solve
+        actually ran — plain floats so the payload pickles across the
+        worker process boundary — when the task requested timing
+        collection; ``None`` otherwise.  Purely observational: timings
+        never influence aggregation or histories.
     """
 
     client_id: int
@@ -41,6 +47,7 @@ class ClientUpdate:
     epochs: float
     gradient_evaluations: int
     gamma: Optional[float] = None
+    timings: Optional[Dict[str, float]] = None
 
 
 class Client:

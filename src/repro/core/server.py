@@ -26,6 +26,7 @@ results.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -37,10 +38,11 @@ from ..runtime.evaluation import no_test_samples_error
 from ..runtime.executor import LocalTask, RoundExecutor, SerialExecutor
 from ..systems.costs import CostTracker
 from ..systems.stragglers import NoHeterogeneity, SystemsModel
+from ..telemetry import MetricsRegistry, resolve_telemetry
 from .adaptive_mu import AdaptiveMuController
 from .callbacks import Callback
 from .client import Client, ClientUpdate
-from .dissimilarity import measure_dissimilarity
+from .dissimilarity import DissimilarityReport, measure_dissimilarity
 from .history import RoundRecord, TrainingHistory
 from .sampling import SamplingScheme, UniformSamplingWeightedAverage
 
@@ -144,6 +146,16 @@ class FederatedTrainer:
         Federation evaluation strategy — ``"auto"`` (default; vectorized
         stacked evaluation when the model supports it), ``"per_client"``
         (legacy per-device loop), or ``"stacked"``.
+    telemetry:
+        Instrumentation for this run (see :mod:`repro.telemetry`): a
+        :class:`~repro.telemetry.Telemetry` emits a run manifest, spans
+        over the round lifecycle (selection → local solve → aggregation →
+        evaluation, plus executor-internal detail), and per-round FedProx
+        diagnostic metrics to its sinks.  Defaults to the shared
+        :class:`~repro.telemetry.NullTelemetry`, under which training
+        behavior and histories are bit-identical to an uninstrumented
+        trainer.  The trainer owns the telemetry object: :meth:`close`
+        flushes and closes its sinks exactly once.
     label:
         Display name stored on the produced history.
     """
@@ -171,6 +183,7 @@ class FederatedTrainer:
         callbacks: Optional[List[Callback]] = None,
         executor: Optional[Union[RoundExecutor, str]] = None,
         eval_mode: str = "auto",
+        telemetry=None,
         label: str = "",
     ) -> None:
         if mu < 0:
@@ -202,6 +215,9 @@ class FederatedTrainer:
             cost_tracker.model_bytes = model.n_params * 8
         self.label = label or self.describe()
 
+        self.telemetry = resolve_telemetry(telemetry)
+        self.metrics = MetricsRegistry(self.telemetry)
+
         self.clients: List[Client] = [
             Client(data, model, solver) for data in dataset
         ]
@@ -217,10 +233,14 @@ class FederatedTrainer:
             clients=self.clients,
             eval_mode=eval_mode,
             label=dataset.name,
+            telemetry=self.telemetry,
         )
         self.eval_mode = self.executor.eval_mode
         self.w = model.get_params()
         self._round = 0
+        self._closed = False
+        self._manifest_emitted = False
+        self._last_dissimilarity: Optional[DissimilarityReport] = None
 
     # ------------------------------------------------------------------ #
     def describe(self) -> str:
@@ -230,6 +250,45 @@ class FederatedTrainer:
         if self.mu_controller is not None:
             return "FedProx (adaptive mu)"
         return f"FedProx (mu={self.mu:g})"
+
+    @property
+    def executor_mode(self) -> str:
+        """Short executor mode name (``serial``/``parallel``/``cohort``)."""
+        name = type(self.executor).__name__
+        if name.endswith("Executor"):
+            name = name[: -len("Executor")]
+        return name.lower()
+
+    def _emit_manifest_once(self) -> None:
+        """Emit the run-header manifest before the first round's events."""
+        if self._manifest_emitted or not self.telemetry.enabled:
+            return
+        self._manifest_emitted = True
+        config = {
+            "mu": self.mu,
+            "epochs": self.epochs,
+            "drop_stragglers": self.drop_stragglers,
+            "clients_per_round": getattr(
+                self.sampling, "clients_per_round", None
+            ),
+            "num_devices": self.dataset.num_devices,
+            "dataset": self.dataset.name,
+            "model": type(self.model).__name__,
+            "n_params": self.model.n_params,
+            "systems": type(self.systems).__name__,
+            "eval_every": self.eval_every,
+            "track_gamma": self.track_gamma,
+            "track_dissimilarity": self.track_dissimilarity,
+            "adaptive_mu": self.mu_controller is not None,
+        }
+        config.update(self.solver.telemetry_tags())
+        self.telemetry.manifest(
+            label=self.label,
+            seed=self.seed,
+            executor=self.executor_mode,
+            eval_mode=self.eval_mode,
+            config=config,
+        )
 
     def _batch_entropy(
         self, round_idx: int, client_id: int, occurrence: int
@@ -281,6 +340,7 @@ class FederatedTrainer:
                     epochs=assignment.epochs,
                     rng_entropy=self._batch_entropy(round_idx, cid, occurrence),
                     measure_gamma=self.track_gamma,
+                    collect_timings=self.telemetry.enabled,
                 )
             )
         updates = self.executor.run_local_solves(tasks)
@@ -293,6 +353,7 @@ class FederatedTrainer:
 
     def _evaluate(self, round_idx: int) -> RoundRecord:
         """Post-aggregation metrics for the current global model."""
+        self._last_dissimilarity = None
         train_loss = self.executor.train_loss(self.w)
         record = RoundRecord(
             round_idx=round_idx, train_loss=train_loss, mu=self.mu
@@ -307,18 +368,35 @@ class FederatedTrainer:
                     max_clients=self.dissimilarity_max_clients,
                 )
                 record.dissimilarity = report.gradient_variance
+                self._last_dissimilarity = report
         return record
 
     def run_round(self) -> RoundRecord:
         """Execute one communication round and return its metrics."""
+        self._emit_manifest_once()
+        telemetry = self.telemetry
         round_idx = self._round
-        selected = self.sampling.select(round_idx)
-        updates, stragglers, dropped = self._local_updates(round_idx, selected)
-        accepted = [(u.client_id, u.w) for u in updates]
-        self.w = self.sampling.aggregate(accepted, self.w)
-        self.model.set_params(self.w)
+        # The round span is timed explicitly (not as an enclosing context
+        # manager) so telemetry's own bookkeeping — diagnostics emission
+        # below — never inflates the reported round duration: the phase
+        # spans tile the round span.
+        t_round = time.perf_counter() if telemetry.enabled else 0.0
+        with telemetry.span("phase:select", round_idx=round_idx):
+            selected = self.sampling.select(round_idx)
+        w_start = self.w
+        with telemetry.span(
+            "phase:local_solve", round_idx=round_idx, clients=len(selected)
+        ):
+            updates, stragglers, dropped = self._local_updates(
+                round_idx, selected
+            )
+        with telemetry.span("phase:aggregate", round_idx=round_idx):
+            accepted = [(u.client_id, u.w) for u in updates]
+            self.w = self.sampling.aggregate(accepted, self.w)
+            self.model.set_params(self.w)
 
-        record = self._evaluate(round_idx)
+        with telemetry.span("phase:evaluate", round_idx=round_idx):
+            record = self._evaluate(round_idx)
         record.selected = list(selected)
         record.stragglers = stragglers
         record.dropped = dropped
@@ -332,8 +410,89 @@ class FederatedTrainer:
         if self.mu_controller is not None:
             self.mu = self.mu_controller.update(record.train_loss)
 
+        if telemetry.enabled:
+            telemetry.record_span(
+                "round",
+                time.perf_counter() - t_round,
+                round_idx=round_idx,
+                clients=len(selected),
+                stragglers=len(stragglers),
+                dropped=len(dropped),
+            )
+            self._emit_round_diagnostics(round_idx, w_start, updates, record)
+
         self._round += 1
         return record
+
+    def _emit_round_diagnostics(
+        self,
+        round_idx: int,
+        w_start: np.ndarray,
+        updates: List[ClientUpdate],
+        record: RoundRecord,
+    ) -> None:
+        """Emit the round's FedProx diagnostics and per-client solve spans.
+
+        Purely observational — reads the round's updates and record,
+        computes drift/proximal statistics, and flushes the metrics
+        registry.  Only called when telemetry is enabled, so the disabled
+        path never pays for the norm computations.
+        """
+        for update in updates:
+            if update.timings is not None:
+                attrs = {
+                    k: v for k, v in update.timings.items() if k != "solve"
+                }
+                self.telemetry.record_span(
+                    "solve:client",
+                    update.timings.get("solve", 0.0),
+                    round_idx=round_idx,
+                    client_id=update.client_id,
+                    epochs=update.epochs,
+                    **attrs,
+                )
+
+        registry = self.metrics
+        registry.counter("rounds_total").inc()
+        registry.counter("solves_total").inc(len(updates))
+        registry.counter("stragglers_total").inc(len(record.stragglers))
+        registry.counter("dropped_total").inc(len(record.dropped))
+
+        if updates:
+            # Client drift ||w_k - w_t|| and the proximal-term magnitude
+            # (mu/2)||w_k - w_t||^2 actually paid by each local subproblem.
+            drifts = [
+                float(np.linalg.norm(u.w - w_start)) for u in updates
+            ]
+            registry.histogram("fedprox.client_drift").observe_many(drifts)
+            registry.histogram("fedprox.prox_term").observe_many(
+                0.5 * record.mu * d * d for d in drifts
+            )
+            # Straggler budget utilization: fraction of the global epoch
+            # target E actually completed by the accepted updates.
+            registry.gauge("fedprox.budget_utilization").set(
+                sum(u.epochs for u in updates) / (len(updates) * self.epochs)
+            )
+            gammas = [
+                u.gamma
+                for u in updates
+                if u.gamma is not None and np.isfinite(u.gamma)
+            ]
+            if gammas:
+                registry.histogram("fedprox.gamma").observe_many(gammas)
+
+        registry.gauge("train_loss").set(record.train_loss)
+        if record.test_accuracy is not None:
+            registry.gauge("test_accuracy").set(record.test_accuracy)
+        registry.gauge("mu").set(record.mu)
+        report = self._last_dissimilarity
+        if report is not None:
+            registry.gauge("fedprox.gradient_variance").set(
+                report.gradient_variance
+            )
+            if np.isfinite(report.b_value):
+                registry.gauge("fedprox.b_value").set(report.b_value)
+        registry.emit_round(round_idx)
 
     def run(self, num_rounds: int) -> TrainingHistory:
         """Run up to ``num_rounds`` communication rounds.
@@ -350,26 +509,60 @@ class FederatedTrainer:
             if any(cb.on_round_end(record) for cb in self.callbacks):
                 break
         self._ensure_final_evaluation(history)
+        for cb in self.callbacks:
+            cb.on_train_end(history)
+        self.telemetry.flush()
         return history
 
     def _ensure_final_evaluation(self, history: TrainingHistory) -> None:
-        """Fill in test accuracy (and dissimilarity) for the last round."""
+        """Fill in test accuracy (and dissimilarity) for the last round.
+
+        When this fill-in evaluation actually runs (an early stop or an
+        ``eval_every`` skip left the last record unevaluated), it is traced
+        as a ``phase:final_evaluate`` span and the final test accuracy is
+        re-emitted as a gauge, so the telemetry stream always ends with
+        the final model's evaluation.
+        """
         if not history.records:
             return
         last = history.records[-1]
-        if self.eval_test and last.test_accuracy is None:
-            last.test_accuracy = self.executor.test_accuracy(self.w)
-        if self.track_dissimilarity and last.dissimilarity is None:
-            report = measure_dissimilarity(
-                self.clients, self.w,
-                max_clients=self.dissimilarity_max_clients,
+        needs_test = self.eval_test and last.test_accuracy is None
+        needs_dissimilarity = (
+            self.track_dissimilarity and last.dissimilarity is None
+        )
+        if not needs_test and not needs_dissimilarity:
+            return
+        with self.telemetry.span(
+            "phase:final_evaluate", round_idx=last.round_idx
+        ):
+            if needs_test:
+                last.test_accuracy = self.executor.test_accuracy(self.w)
+            if needs_dissimilarity:
+                report = measure_dissimilarity(
+                    self.clients, self.w,
+                    max_clients=self.dissimilarity_max_clients,
+                )
+                last.dissimilarity = report.gradient_variance
+        if needs_test and self.telemetry.enabled:
+            self.telemetry.metric(
+                "test_accuracy",
+                last.test_accuracy,
+                round_idx=last.round_idx,
+                kind="gauge",
             )
-            last.dissimilarity = report.gradient_variance
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release executor-owned resources (worker pools); idempotent."""
+        """Release executor resources and flush telemetry; idempotent.
+
+        Safe to call any number of times (and after ``with`` exit): the
+        executor's own ``close`` is idempotent, and the telemetry sinks
+        are flushed and closed exactly once.
+        """
         self.executor.close()
+        if not self._closed:
+            self._closed = True
+            self.telemetry.close()
 
     def __enter__(self) -> "FederatedTrainer":
         return self

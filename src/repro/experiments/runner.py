@@ -10,6 +10,8 @@ share the same selected devices, straggler draws and mini-batch orders
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -20,7 +22,14 @@ from ..core.server import FederatedTrainer
 from ..core.history import TrainingHistory
 from ..optim.sgd import SGDSolver
 from ..systems.stragglers import FractionStragglers, NoHeterogeneity, SystemsModel
+from ..telemetry import JSONLSink, Telemetry
 from .configs import ExperimentScale, Workload
+
+
+def _method_slug(label: str) -> str:
+    """Filesystem-safe method label for telemetry artifact names."""
+    slug = re.sub(r"[^A-Za-z0-9.+-]+", "_", label).strip("_")
+    return slug or "method"
 
 
 @dataclass(frozen=True)
@@ -71,6 +80,7 @@ def build_trainer(
     sampling_factory: Optional[Callable[..., SamplingScheme]] = None,
     track_dissimilarity: bool = False,
     epochs: Optional[float] = None,
+    telemetry=None,
 ) -> FederatedTrainer:
     """Instantiate the trainer described by ``spec`` for one workload."""
     model = workload.model_factory()
@@ -98,6 +108,7 @@ def build_trainer(
         track_dissimilarity=track_dissimilarity,
         dissimilarity_max_clients=scale.dissimilarity_max_clients,
         mu_controller=controller,
+        telemetry=telemetry,
         label=spec.label,
     )
     if spec.feddane:
@@ -116,6 +127,7 @@ def run_methods(
     sampling_factory: Optional[Callable[..., SamplingScheme]] = None,
     track_dissimilarity: bool = False,
     epochs: Optional[float] = None,
+    telemetry_dir: Optional[str] = None,
 ) -> Dict[str, TrainingHistory]:
     """Run each method on a workload under a shared environment.
 
@@ -139,6 +151,12 @@ def run_methods(
         Record gradient variance every evaluation round.
     epochs:
         Override the global epoch target ``E`` (Figures 9/10 use E=1).
+    telemetry_dir:
+        When given, every method's run is instrumented and written as a
+        JSONL telemetry artifact ``<telemetry_dir>/<method-slug>.jsonl``
+        (manifest header plus per-round span/metric events; the directory
+        is created if needed).  ``None`` (the default) disables
+        instrumentation entirely.
 
     Returns
     -------
@@ -152,8 +170,17 @@ def run_methods(
         systems = NoHeterogeneity()
     num_rounds = rounds if rounds is not None else workload.rounds
 
+    if telemetry_dir is not None:
+        os.makedirs(telemetry_dir, exist_ok=True)
+
     results: Dict[str, TrainingHistory] = {}
     for spec in methods:
+        telemetry = None
+        if telemetry_dir is not None:
+            path = os.path.join(
+                telemetry_dir, f"{_method_slug(spec.label)}.jsonl"
+            )
+            telemetry = Telemetry([JSONLSink(path)])
         trainer = build_trainer(
             spec,
             workload,
@@ -163,6 +190,10 @@ def run_methods(
             sampling_factory=sampling_factory,
             track_dissimilarity=track_dissimilarity,
             epochs=epochs,
+            telemetry=telemetry,
         )
-        results[spec.label] = trainer.run(num_rounds)
+        try:
+            results[spec.label] = trainer.run(num_rounds)
+        finally:
+            trainer.close()
     return results

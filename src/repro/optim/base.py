@@ -173,6 +173,20 @@ class LocalSolver(abc.ABC):
         """Short human-readable description, used in experiment logs."""
         return type(self).__name__
 
+    def telemetry_tags(self) -> dict:
+        """Flat description of this solver for telemetry run manifests.
+
+        The default collects the common hyperparameter attributes when
+        present; solvers with richer configuration can override to add
+        their own fields (keep values JSON-scalar).
+        """
+        tags = {"solver": self.describe()}
+        for attr in ("learning_rate", "batch_size", "momentum"):
+            value = getattr(self, attr, None)
+            if isinstance(value, (int, float)):
+                tags[attr] = value
+        return tags
+
     # Stacked (cohort) solve protocol ------------------------------------ #
     @property
     def supports_stacked_solve(self) -> bool:

@@ -15,6 +15,13 @@ All produce bit-comparable training histories for the same configuration;
 see :mod:`repro.runtime.executor` for the determinism contract,
 :mod:`repro.runtime.cohort` for the stacked local-solve fast path, and
 :mod:`repro.runtime.evaluation` for the vectorized evaluation fast paths.
+
+All three executors emit the same telemetry event schema
+(:mod:`repro.telemetry`): the trainer's round/phase spans are
+executor-agnostic, per-client solve timings ride on
+:class:`~repro.core.client.ClientUpdate` payloads (so parallel workers'
+spans survive the process boundary), and the cohort executor adds stacked
+kernel phase-split spans.
 """
 
 from .cohort import CohortExecutor, solve_cohort

@@ -50,7 +50,8 @@ from typing import TYPE_CHECKING, List, Sequence
 
 import numpy as np
 
-from .executor import LocalTask, RoundExecutor, task_rng
+from ..telemetry import resolve_telemetry
+from .executor import LocalTask, RoundExecutor, task_rng, task_round
 
 if TYPE_CHECKING:  # avoid a circular import with repro.core
     from ..core.client import Client, ClientUpdate
@@ -68,10 +69,25 @@ def solve_cohort(
     clients: Sequence["Client"],
     model: "FederatedModel",
     solver: "LocalSolver",
+    telemetry=None,
 ) -> List["ClientUpdate"]:
-    """Run every task's local solve in one stacked loop; task-order results."""
+    """Run every task's local solve in one stacked loop; task-order results.
+
+    When ``telemetry`` is enabled, the solve's internal phase splits are
+    emitted as ``cohort:plan`` (batch schedules), ``cohort:pack`` (shard
+    concatenation + gather-plan build), ``cohort:kernel`` (the stacked
+    step loop), and ``cohort:finalize`` (task-order restore + γ
+    measurement) spans — the cohort-path counterpart of the per-client
+    ``solve:client`` spans the scalar executors produce.
+    """
+    import time
+
     from ..core.client import ClientUpdate  # deferred: core imports runtime
     from ..optim.inexactness import gamma_inexactness
+
+    telemetry = resolve_telemetry(telemetry)
+    round_idx = task_round(tasks[0]) if tasks else None
+    t_phase = time.perf_counter() if telemetry.enabled else 0.0
 
     K = len(tasks)
     d = model.n_params
@@ -91,6 +107,14 @@ def solve_cohort(
     budgets = [len(plans[i]) for i in order]
     t_max = budgets[0]
     b_max = max(len(batch) for i in order for batch in plans[i])
+
+    if telemetry.enabled:
+        now = time.perf_counter()
+        telemetry.record_span(
+            "cohort:plan", now - t_phase, round_idx=round_idx,
+            clients=K, steps=t_max,
+        )
+        t_phase = now
 
     # Concatenate the cohort's shards once; the final row is a zero pad
     # target for out-of-batch gather indices.
@@ -143,6 +167,14 @@ def solve_cohort(
     prox = np.empty((K, d), dtype=np.float64)
     feat_size = int(np.prod(feat_shape)) if feat_shape else 1
 
+    if telemetry.enabled:
+        now = time.perf_counter()
+        telemetry.record_span(
+            "cohort:pack", now - t_phase, round_idx=round_idx,
+            rows=int(base), clients=K,
+        )
+        t_phase = now
+
     # The active set shrinks only at budget boundaries, so the step loop
     # decomposes into segments of constant width ``a``: steps
     # ``[budgets[a], budgets[a-1])`` run exactly the first ``a`` rows.
@@ -186,6 +218,14 @@ def solve_cohort(
                             G[row] += corrections[row]
                 stacked_step(Wa, G, state, lo + s + 1)
 
+    if telemetry.enabled:
+        now = time.perf_counter()
+        telemetry.record_span(
+            "cohort:kernel", now - t_phase, round_idx=round_idx,
+            steps=t_max, clients=K,
+        )
+        t_phase = now
+
     # Restore task order and emit updates with the scalar path's metadata.
     updates: List["ClientUpdate"] = [None] * K  # type: ignore[list-item]
     for row, i in enumerate(order):
@@ -205,6 +245,12 @@ def solve_cohort(
             epochs=task.epochs,
             gradient_evaluations=len(plans[i]),
             gamma=gamma,
+        )
+
+    if telemetry.enabled:
+        telemetry.record_span(
+            "cohort:finalize", time.perf_counter() - t_phase,
+            round_idx=round_idx, clients=K,
         )
     return updates
 
@@ -241,4 +287,7 @@ class CohortExecutor(RoundExecutor):
         self._require_bound()
         if not tasks:
             return []
-        return solve_cohort(tasks, self.clients, self.model, self.solver)
+        return solve_cohort(
+            tasks, self.clients, self.model, self.solver,
+            telemetry=self.telemetry,
+        )

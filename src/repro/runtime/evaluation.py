@@ -33,9 +33,12 @@ what keeps serial and parallel training histories bit-identical.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..telemetry import resolve_telemetry
 
 if TYPE_CHECKING:  # avoid a circular import with repro.core
     from ..core.client import Client
@@ -97,6 +100,10 @@ class FederationEvaluator:
     block_size:
         Rows per fused forward pass in stacked mode (see
         :data:`STACKED_EVAL_BLOCK`).
+    telemetry:
+        When enabled, each oracle call emits an ``eval:train_loss`` /
+        ``eval:test_accuracy`` span with the evaluation mode and row
+        count; defaults to the shared no-op telemetry.
     """
 
     def __init__(
@@ -106,6 +113,7 @@ class FederationEvaluator:
         eval_mode: str = "per_client",
         label: str = "",
         block_size: int = STACKED_EVAL_BLOCK,
+        telemetry=None,
     ) -> None:
         if eval_mode not in ("per_client", "stacked"):
             raise ValueError(
@@ -118,10 +126,13 @@ class FederationEvaluator:
         self.eval_mode = eval_mode
         self.label = label
         self.block_size = block_size
+        self.telemetry = resolve_telemetry(telemetry)
         masses = np.array(
             [c.data.num_train for c in self.clients], dtype=np.float64
         )
         self._masses = masses / masses.sum()
+        self._train_rows = int(masses.sum())
+        self._test_rows = int(sum(c.data.num_test for c in self.clients))
         self._train_stack: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._test_stack: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
@@ -161,6 +172,17 @@ class FederationEvaluator:
     # Public oracle ------------------------------------------------------ #
     def train_loss(self, w: np.ndarray) -> float:
         """Global objective ``f(w) = sum_k p_k F_k(w)`` of Equation 1."""
+        if not self.telemetry.enabled:
+            return self._train_loss(w)
+        t0 = time.perf_counter()
+        result = self._train_loss(w)
+        self.telemetry.record_span(
+            "eval:train_loss", time.perf_counter() - t0,
+            mode=self.eval_mode, rows=self._train_rows,
+        )
+        return result
+
+    def _train_loss(self, w: np.ndarray) -> float:
         if self.eval_mode == "stacked":
             X, y = self._train_arrays()
             self.model.set_params(w)
@@ -173,6 +195,17 @@ class FederationEvaluator:
 
     def test_accuracy(self, w: np.ndarray) -> float:
         """Sample-weighted test accuracy across all devices with test data."""
+        if not self.telemetry.enabled:
+            return self._test_accuracy(w)
+        t0 = time.perf_counter()
+        result = self._test_accuracy(w)
+        self.telemetry.record_span(
+            "eval:test_accuracy", time.perf_counter() - t0,
+            mode=self.eval_mode, rows=self._test_rows,
+        )
+        return result
+
+    def _test_accuracy(self, w: np.ndarray) -> float:
         if self.eval_mode == "stacked":
             X, y = self._test_arrays()
             self.model.set_params(w)

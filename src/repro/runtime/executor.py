@@ -22,16 +22,31 @@ Evaluation is dispatched through the executor as well (``train_loss`` /
 ``test_accuracy``); both built-in executors reduce per-client metrics in
 device order with shared reduction code, so evaluation is also bit-stable
 across executors.
+
+Telemetry
+---------
+:meth:`RoundExecutor.bind` accepts a telemetry object (default: the shared
+:data:`~repro.telemetry.NULL_TELEMETRY` no-op).  When a
+:class:`~repro.runtime.executor.LocalTask` asks for timing collection
+(``collect_timings=True``, set by the trainer whenever telemetry is
+enabled), executors attach wall-clock phase payloads to each
+:class:`~repro.core.client.ClientUpdate` (``update.timings``) — plain
+floats that survive pickling, so :class:`~repro.runtime.parallel.ParallelExecutor`
+worker spans cross the process boundary and are re-emitted server-side.
+Timings never influence the solve itself, so histories stay bit-identical
+whether telemetry is on or off.
 """
 
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry import NULL_TELEMETRY, resolve_telemetry
 from .evaluation import FederationEvaluator, resolve_eval_mode
 
 if TYPE_CHECKING:  # avoid a circular import with repro.core
@@ -63,6 +78,11 @@ class LocalTask:
         Also measure the solve's γ-inexactness (Definition 2).
     correction:
         Optional FedDane linear correction vector.
+    collect_timings:
+        Attach wall-clock timing payloads to the resulting
+        :class:`~repro.core.client.ClientUpdate` (set by the trainer when
+        telemetry is enabled; off by default so the disabled path does no
+        extra work).
     """
 
     client_id: int
@@ -72,11 +92,39 @@ class LocalTask:
     rng_entropy: Tuple[int, ...]
     measure_gamma: bool = False
     correction: Optional[np.ndarray] = None
+    collect_timings: bool = False
 
 
 def task_rng(task: LocalTask) -> np.random.Generator:
     """The task's mini-batch generator, identical in any process."""
     return np.random.default_rng(np.random.SeedSequence(list(task.rng_entropy)))
+
+
+def task_round(task: LocalTask) -> Optional[int]:
+    """The round index encoded in the task's entropy tuple, if present."""
+    return int(task.rng_entropy[1]) if len(task.rng_entropy) >= 2 else None
+
+
+def solve_with_timings(client: "Client", task: LocalTask) -> "ClientUpdate":
+    """Run one task on a client, honoring its timing-collection flag.
+
+    The shared solve path for :class:`SerialExecutor` and the parallel
+    workers: when ``task.collect_timings`` is set, the update's
+    ``timings`` dict records the solve's wall-clock duration (pure
+    floats, so the payload pickles across the process boundary).
+    """
+    t0 = time.perf_counter() if task.collect_timings else 0.0
+    update = client.local_solve(
+        w_global=task.w_global,
+        mu=task.mu,
+        epochs=task.epochs,
+        rng=task_rng(task),
+        correction=task.correction,
+        measure_gamma=task.measure_gamma,
+    )
+    if task.collect_timings:
+        update.timings = {"solve": time.perf_counter() - t0}
+    return update
 
 
 class RoundExecutor(abc.ABC):
@@ -96,6 +144,7 @@ class RoundExecutor(abc.ABC):
         self.clients: List["Client"] = []
         self.eval_mode: str = "per_client"
         self.evaluator: Optional[FederationEvaluator] = None
+        self.telemetry = NULL_TELEMETRY
 
     # Lifecycle ---------------------------------------------------------- #
     def bind(
@@ -106,6 +155,7 @@ class RoundExecutor(abc.ABC):
         clients: Optional[Sequence["Client"]] = None,
         eval_mode: str = "auto",
         label: str = "",
+        telemetry=None,
     ) -> None:
         """Attach the executor to a federation.
 
@@ -121,12 +171,17 @@ class RoundExecutor(abc.ABC):
             ``"auto"`` resolves against the model's capability.
         label:
             Federation display name for error messages.
+        telemetry:
+            Instrumentation for executor-internal spans (cohort phase
+            splits, evaluator oracle calls); defaults to the shared
+            no-op :data:`~repro.telemetry.NULL_TELEMETRY`.
         """
         from ..core.client import Client  # deferred: core imports runtime
 
         self.dataset = dataset
         self.model = model
         self.solver = solver
+        self.telemetry = resolve_telemetry(telemetry)
         self.clients = (
             list(clients)
             if clients is not None
@@ -134,7 +189,11 @@ class RoundExecutor(abc.ABC):
         )
         self.eval_mode = resolve_eval_mode(model, eval_mode)
         self.evaluator = FederationEvaluator(
-            self.clients, model, eval_mode=self.eval_mode, label=label
+            self.clients,
+            model,
+            eval_mode=self.eval_mode,
+            label=label,
+            telemetry=self.telemetry,
         )
         self._on_bind()
 
@@ -193,13 +252,6 @@ class SerialExecutor(RoundExecutor):
     def run_local_solves(self, tasks: Sequence[LocalTask]) -> List["ClientUpdate"]:
         self._require_bound()
         return [
-            self.clients[task.client_id].local_solve(
-                w_global=task.w_global,
-                mu=task.mu,
-                epochs=task.epochs,
-                rng=task_rng(task),
-                correction=task.correction,
-                measure_gamma=task.measure_gamma,
-            )
+            solve_with_timings(self.clients[task.client_id], task)
             for task in tasks
         ]

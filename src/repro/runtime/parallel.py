@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .executor import LocalTask, RoundExecutor, task_rng
+from .executor import LocalTask, RoundExecutor, solve_with_timings
 
 if TYPE_CHECKING:  # avoid a circular import with repro.core
     from ..core.client import ClientUpdate
@@ -70,16 +70,18 @@ def _init_worker(dataset, model, solver) -> None:
 
 
 def _solve_task(task: LocalTask) -> "ClientUpdate":
-    """Run one local solve inside a worker process."""
+    """Run one local solve inside a worker process.
+
+    Timing payloads (when the task asks for them) are measured *here*, on
+    the worker's own clock, and ride back on the update as plain floats —
+    the server re-emits them as ``solve:client`` spans, which is how
+    parallel-executor spans survive the process boundary.
+    """
     client = _WORKER["clients"][task.client_id]
-    return client.local_solve(
-        w_global=task.w_global,
-        mu=task.mu,
-        epochs=task.epochs,
-        rng=task_rng(task),
-        correction=task.correction,
-        measure_gamma=task.measure_gamma,
-    )
+    update = solve_with_timings(client, task)
+    if update.timings is not None:
+        update.timings["worker_pid"] = float(os.getpid())
+    return update
 
 
 def _eval_chunk(args: Tuple) -> Tuple[Optional[List[float]], int, int]:

@@ -6,6 +6,12 @@ timeline explicit: for each selected device it records download time,
 compute time, upload time, whether the deadline was hit, and the work
 completed — useful for visualizing *why* a device straggled (slow CPU vs
 slow link vs low battery) and for auditing the clock-driven systems model.
+
+Units: all ``*_cycles`` durations are *simulated* clock cycles, not wall
+time.  :meth:`RoundTimeline.to_events` converts a timeline into the
+telemetry span schema (``clock="simulated"``, ``unit="cycles"``) so
+simulated timelines flow through the same sinks — and land in the same
+JSONL artifacts — as the wall-clock spans of :mod:`repro.telemetry`.
 """
 
 from __future__ import annotations
@@ -70,6 +76,19 @@ class RoundTimeline:
             if t.hit_deadline:
                 counts[t.bottleneck] += 1
         return counts
+
+    def to_events(self) -> List[dict]:
+        """This timeline as telemetry span events (simulated clock).
+
+        One ``sim:round`` span (duration = the cycle deadline) followed by
+        ``sim:download`` / ``sim:compute`` / ``sim:upload`` spans per
+        device, all with ``clock="simulated"`` and ``unit="cycles"`` —
+        ready to :meth:`~repro.telemetry.Telemetry.emit` or to append to
+        any telemetry sink alongside wall-clock events.
+        """
+        from ..telemetry.simtime import timeline_events
+
+        return timeline_events(self)
 
 
 def trace_round(

@@ -1,0 +1,156 @@
+"""Telemetry event schema: the one wire format every sink receives.
+
+Every event is a flat JSON-serializable ``dict`` with a ``type`` field
+(``"manifest"``, ``"span"``, or ``"metric"``) plus the type's fields below.
+The schema is shared by *all* emitters — the trainer's wall-clock spans,
+worker-side timing payloads reconstructed after the process boundary, the
+cohort executor's stacked-kernel phase splits, and simulated-time
+conversions of :class:`repro.systems.trace.RoundTimeline` — so one sink
+(or one JSONL file) can hold a whole run regardless of which executor
+produced it.
+
+Field reference
+---------------
+``manifest`` (exactly one per run, always the first event)
+    ``schema`` (int), ``run_id`` (str), ``label``, ``seed``, ``executor``,
+    ``eval_mode``, ``clock``, ``unit``, ``config`` (nested dict of the
+    run's configuration: µ, E, K, solver tags, model, dataset).
+``span`` (one timed region)
+    ``name`` (taxonomy below), ``round`` (int or ``None``), ``duration``
+    (float), ``unit`` (``"s"`` wall / ``"cycles"`` simulated), ``clock``
+    (``"wall"`` / ``"simulated"``), ``ts`` (emission offset from run
+    start, wall seconds), plus free-form scalar attributes.
+``metric`` (one measurement)
+    ``name``, ``round``, ``kind`` (``"counter"`` | ``"gauge"`` |
+    ``"histogram"``), ``ts``; counters/gauges carry ``value``; histograms
+    carry ``count``/``min``/``max``/``mean``/``p50``/``p90``.
+
+Span taxonomy
+-------------
+``round``
+    One full communication round (selection through evaluation).
+``phase:select`` / ``phase:local_solve`` / ``phase:aggregate`` /
+``phase:evaluate``
+    The round lifecycle phases; their durations tile the ``round`` span.
+``phase:final_evaluate``
+    The trainer's fill-in evaluation after early stopping.
+``solve:client``
+    One device's local solve (serial in-process, or reconstructed from a
+    worker's piggybacked timing payload; carries ``client_id``).
+``cohort:plan`` / ``cohort:pack`` / ``cohort:kernel`` / ``cohort:finalize``
+    The stacked cohort solve's internal phase splits.
+``eval:train_loss`` / ``eval:test_accuracy``
+    Individual evaluator oracle calls.
+``sim:round`` / ``sim:download`` / ``sim:compute`` / ``sim:upload``
+    Simulated global-clock timeline spans (``clock="simulated"``,
+    ``unit="cycles"``), converted via :mod:`repro.telemetry.simtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+#: Version stamp written into every manifest; bump on breaking changes.
+SCHEMA_VERSION = 1
+
+#: Clock domains events may come from.
+CLOCK_WALL = "wall"
+CLOCK_SIMULATED = "simulated"
+
+#: Duration units matching the clock domains.
+UNIT_SECONDS = "s"
+UNIT_CYCLES = "cycles"
+
+EVENT_TYPES = ("manifest", "span", "metric")
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def manifest_event(
+    run_id: str,
+    label: str,
+    seed: int,
+    executor: str,
+    eval_mode: str,
+    config: Dict[str, Any],
+    ts: float = 0.0,
+) -> Dict[str, Any]:
+    """The run-header event (config + seed + executor mode)."""
+    return {
+        "type": "manifest",
+        "schema": SCHEMA_VERSION,
+        "run_id": run_id,
+        "label": label,
+        "seed": int(seed),
+        "executor": executor,
+        "eval_mode": eval_mode,
+        "clock": CLOCK_WALL,
+        "unit": UNIT_SECONDS,
+        "ts": float(ts),
+        "config": config,
+    }
+
+
+def span_event(
+    name: str,
+    duration: float,
+    round_idx: Optional[int] = None,
+    clock: str = CLOCK_WALL,
+    unit: str = UNIT_SECONDS,
+    ts: float = 0.0,
+    **attrs: Any,
+) -> Dict[str, Any]:
+    """One timed region; ``attrs`` become top-level scalar fields."""
+    event: Dict[str, Any] = {
+        "type": "span",
+        "name": name,
+        "round": None if round_idx is None else int(round_idx),
+        "duration": float(duration),
+        "unit": unit,
+        "clock": clock,
+        "ts": float(ts),
+    }
+    event.update(attrs)
+    return event
+
+
+def metric_event(
+    name: str,
+    kind: str,
+    round_idx: Optional[int] = None,
+    ts: float = 0.0,
+    **fields: Any,
+) -> Dict[str, Any]:
+    """One measurement; ``fields`` carry ``value`` or histogram stats."""
+    if kind not in METRIC_KINDS:
+        raise ValueError(f"kind must be one of {METRIC_KINDS}, got {kind!r}")
+    event: Dict[str, Any] = {
+        "type": "metric",
+        "name": name,
+        "kind": kind,
+        "round": None if round_idx is None else int(round_idx),
+        "ts": float(ts),
+    }
+    event.update(fields)
+    return event
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Histogram summary statistics (count/min/max/mean/p50/p90).
+
+    Empty inputs summarize to a zero count with no other stats, so sinks
+    never receive NaNs.
+    """
+    arr = np.asarray([v for v in values if v is not None], dtype=np.float64)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return {"count": 0}
+    return {
+        "count": int(arr.size),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+    }

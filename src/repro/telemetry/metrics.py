@@ -1,0 +1,124 @@
+"""Counter/gauge/histogram instruments over a telemetry object.
+
+The trainer's per-round FedProx diagnostics go through a
+:class:`MetricsRegistry`: counters accumulate across the run (rounds,
+solves, stragglers, dropped updates), gauges hold the latest value
+(straggler budget utilization, proximal term magnitude, dissimilarity),
+and histograms collect one round's per-client observations (γ-inexactness,
+update drift norms) and emit summary statistics.
+
+:meth:`MetricsRegistry.emit_round` flushes every instrument as ``metric``
+events stamped with the round index, then resets the histograms (counters
+and gauges persist — counters are cumulative by definition, gauges report
+their latest value each round they are set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+class Counter:
+    """Monotonic cumulative count (emitted as ``kind="counter"``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Latest-value measurement (emitted as ``kind="gauge"``)."""
+
+    __slots__ = ("name", "value", "_dirty")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self._dirty = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self._dirty = True
+
+
+class Histogram:
+    """Per-round distribution of observations (emitted as a summary)."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        self.values.extend(float(v) for v in values)
+
+    def reset(self) -> None:
+        self.values = []
+
+
+class MetricsRegistry:
+    """Named instruments bound to one telemetry object.
+
+    Instruments are created on first access (``registry.counter("x")``)
+    and keep their identity for the run, mirroring the usual
+    metrics-library contract.  With :class:`~repro.telemetry.core.NullTelemetry`
+    the registry still works (instruments accumulate) but
+    :meth:`emit_round` emits nothing.
+    """
+
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def emit_round(self, round_idx: int) -> None:
+        """Emit every instrument for ``round_idx`` and reset histograms.
+
+        Gauges emit only when set since the last flush (so a metric that
+        is tracked every ``eval_every`` rounds does not repeat stale
+        values); histograms emit only when they observed anything.
+        """
+        telemetry = self.telemetry
+        for counter in self._counters.values():
+            telemetry.metric(
+                counter.name, counter.value, round_idx=round_idx, kind="counter"
+            )
+        for gauge in self._gauges.values():
+            if gauge._dirty and gauge.value is not None:
+                telemetry.metric(
+                    gauge.name, gauge.value, round_idx=round_idx, kind="gauge"
+                )
+                gauge._dirty = False
+        for histogram in self._histograms.values():
+            if histogram.values:
+                telemetry.histogram(
+                    histogram.name, histogram.values, round_idx=round_idx
+                )
+                histogram.reset()

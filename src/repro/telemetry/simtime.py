@@ -1,0 +1,93 @@
+"""Bridge from simulated global-clock timelines to telemetry events.
+
+:mod:`repro.systems.trace` reconstructs what each device did during a
+round of the paper's global-clock simulation (Section 5.2) in *cycle*
+units.  This module converts those :class:`~repro.systems.trace.RoundTimeline`
+objects into the same span schema the wall-clock instrumentation emits
+(``clock="simulated"``, ``unit="cycles"``), so one sink — and one JSONL
+artifact — can hold both views of a run:
+
+* ``sim:round`` — one span per timeline, ``duration`` = the cycle deadline,
+  with straggler/bottleneck counts as attributes.
+* ``sim:download`` / ``sim:compute`` / ``sim:upload`` — one span per
+  device per phase, mirroring the wall taxonomy's phase decomposition,
+  with ``device_id``, completed/target epochs, and the straggler flag.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from .events import CLOCK_SIMULATED, UNIT_CYCLES, span_event
+
+if TYPE_CHECKING:  # avoid importing systems at module load
+    from ..systems.trace import DeviceRoundTrace, RoundTimeline
+
+#: DeviceRoundTrace field -> simulated span name, in emission order.
+_PHASE_FIELDS = (
+    ("download_cycles", "sim:download"),
+    ("compute_cycles", "sim:compute"),
+    ("upload_cycles", "sim:upload"),
+)
+
+
+def device_trace_events(
+    trace: "DeviceRoundTrace", round_idx: int
+) -> List[Dict[str, Any]]:
+    """The three phase spans for one device's simulated round."""
+    events = []
+    for field, name in _PHASE_FIELDS:
+        events.append(
+            span_event(
+                name,
+                getattr(trace, field),
+                round_idx=round_idx,
+                clock=CLOCK_SIMULATED,
+                unit=UNIT_CYCLES,
+                device_id=trace.device_id,
+                epochs_completed=trace.epochs_completed,
+                epochs_target=trace.epochs_target,
+                hit_deadline=trace.hit_deadline,
+                bottleneck=trace.bottleneck,
+            )
+        )
+    return events
+
+
+def timeline_events(timeline: "RoundTimeline") -> List[Dict[str, Any]]:
+    """All span events for one simulated round timeline.
+
+    The ``sim:round`` header span comes first, then each device's
+    download/compute/upload spans in trace order.
+    """
+    counts = timeline.bottleneck_counts()
+    events: List[Dict[str, Any]] = [
+        span_event(
+            "sim:round",
+            timeline.deadline,
+            round_idx=timeline.round_idx,
+            clock=CLOCK_SIMULATED,
+            unit=UNIT_CYCLES,
+            devices=len(timeline.traces),
+            stragglers=len(timeline.stragglers),
+            network_bound=counts["network"],
+            compute_bound=counts["compute"],
+        )
+    ]
+    for trace in timeline.traces:
+        events.extend(device_trace_events(trace, timeline.round_idx))
+    return events
+
+
+def emit_timeline(telemetry, timeline: "RoundTimeline") -> int:
+    """Send a simulated timeline through a telemetry object's sinks.
+
+    Returns the number of events emitted (0 under
+    :class:`~repro.telemetry.core.NullTelemetry`).
+    """
+    if not getattr(telemetry, "enabled", False):
+        return 0
+    events = timeline_events(timeline)
+    for event in events:
+        telemetry.emit(event)
+    return len(events)

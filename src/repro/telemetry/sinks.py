@@ -1,0 +1,204 @@
+"""Pluggable telemetry sinks: where emitted events go.
+
+All sinks consume the flat event dicts of :mod:`repro.telemetry.events`:
+
+* :class:`InMemorySink` — append to a list; the test/reporting backend.
+* :class:`JSONLSink` — one JSON object per line; the run-artifact backend
+  (the manifest event is the file's header line).
+* :class:`ConsoleSink` — throttled human-readable progress lines.
+
+Sinks are deliberately tiny: ``emit`` one event, ``flush`` buffers,
+``close`` exactly once (``close`` is idempotent for every built-in sink,
+which is what makes :meth:`repro.core.server.FederatedTrainer.close`
+idempotent in turn).
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Sink(abc.ABC):
+    """Consumer of telemetry events."""
+
+    @abc.abstractmethod
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Consume one event dict (must not mutate it)."""
+
+    def flush(self) -> None:
+        """Push any buffered events to the backing store."""
+
+    def close(self) -> None:
+        """Flush and release resources; must be idempotent."""
+
+
+class InMemorySink(Sink):
+    """Collect events in a list — the testing and reporting backend."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.flush_count = 0
+        self.close_count = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def flush(self) -> None:
+        self.flush_count += 1
+
+    def close(self) -> None:
+        if self.close_count == 0:
+            self.flush()
+        self.close_count += 1
+
+    # Query helpers (used by tests and the bench harness) ----------------- #
+    def of_type(self, event_type: str) -> List[Dict[str, Any]]:
+        """All events of one ``type`` (``manifest``/``span``/``metric``)."""
+        return [e for e in self.events if e.get("type") == event_type]
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All span events, optionally filtered by span name."""
+        spans = self.of_type("span")
+        if name is None:
+            return spans
+        return [e for e in spans if e.get("name") == name]
+
+    def metrics(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All metric events, optionally filtered by metric name."""
+        metrics = self.of_type("metric")
+        if name is None:
+            return metrics
+        return [e for e in metrics if e.get("name") == name]
+
+    def rounds(self) -> List[int]:
+        """Sorted distinct round indices that produced a ``round`` span."""
+        return sorted(
+            {e["round"] for e in self.spans("round") if e["round"] is not None}
+        )
+
+
+def _json_default(obj: Any) -> Any:
+    """Serialize NumPy scalars/arrays that leak into event attributes."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+class JSONLSink(Sink):
+    """Write one JSON object per line — the run-artifact backend.
+
+    Parameters
+    ----------
+    path:
+        Output file path.  The file is opened lazily on the first emit, so
+        constructing a sink that never sees events leaves no empty file.
+    append:
+        Open in append mode (used by the bench harness to chain several
+        runs' manifests into one artifact); default truncates.
+    """
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        self.path = str(path)
+        self.append = bool(append)
+        self._fh = None
+        self._closed = False
+        self.lines_written = 0
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"JSONLSink({self.path!r}) is closed")
+        if self._fh is None:
+            self._fh = open(self.path, "a" if self.append else "w")
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._ensure_open()
+        self._fh.write(json.dumps(event, default=_json_default))
+        self._fh.write("\n")
+        self.lines_written += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL artifact back into event dicts (blank lines skipped)."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class ConsoleSink(Sink):
+    """Throttled one-line-per-event console progress.
+
+    Span/metric events are rate-limited to one line per ``min_interval``
+    seconds (manifests always print), so a 1000-round run does not flood
+    the terminal while short runs still show every round.
+    """
+
+    def __init__(
+        self,
+        min_interval: float = 0.5,
+        stream=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if min_interval < 0:
+            raise ValueError("min_interval must be non-negative")
+        self.min_interval = float(min_interval)
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._last_print = -float("inf")
+        self.lines_printed = 0
+        self.events_seen = 0
+
+    def _format(self, event: Dict[str, Any]) -> str:
+        etype = event.get("type")
+        if etype == "manifest":
+            return (
+                f"[telemetry] run {event.get('run_id')} "
+                f"{event.get('label')!r} executor={event.get('executor')}"
+            )
+        round_part = (
+            f" r{event['round']}" if event.get("round") is not None else ""
+        )
+        if etype == "span":
+            return (
+                f"[telemetry]{round_part} span {event.get('name')} "
+                f"{event.get('duration'):.6g}{event.get('unit')}"
+            )
+        value = event.get("value", event.get("mean"))
+        return (
+            f"[telemetry]{round_part} {event.get('kind')} "
+            f"{event.get('name')} = {value}"
+        )
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events_seen += 1
+        now = self._clock()
+        if (
+            event.get("type") != "manifest"
+            and now - self._last_print < self.min_interval
+        ):
+            return
+        self._last_print = now
+        print(self._format(event), file=self.stream)
+        self.lines_printed += 1
