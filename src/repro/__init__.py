@@ -25,6 +25,7 @@ from . import (
     autograd,
     core,
     datasets,
+    faults,
     io,
     metrics,
     models,
@@ -42,6 +43,7 @@ __all__ = [
     "optim",
     "datasets",
     "systems",
+    "faults",
     "core",
     "metrics",
     "telemetry",

@@ -4,6 +4,13 @@ from .adaptive_mu import AdaptiveMuController
 from .baselines import make_distributed_sgd
 from .callbacks import Callback, EarlyStopping, LambdaCallback
 from .client import Client, ClientUpdate
+from .config import (
+    CohortConfig,
+    DiagnosticsConfig,
+    EvaluationConfig,
+    OptimizationConfig,
+    TrainerConfig,
+)
 from .dissimilarity import (
     DissimilarityReport,
     bounded_variance_b_upper_bound,
@@ -22,6 +29,11 @@ from .server import FederatedTrainer, global_test_accuracy, global_train_loss
 
 __all__ = [
     "FederatedTrainer",
+    "TrainerConfig",
+    "OptimizationConfig",
+    "CohortConfig",
+    "EvaluationConfig",
+    "DiagnosticsConfig",
     "make_fedavg",
     "make_fedprox",
     "make_feddane",

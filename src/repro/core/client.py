@@ -8,8 +8,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..datasets.federated import ClientData
+from ..faults.models import FaultDecision
 from ..models.base import FederatedModel
-from ..optim.base import LocalSolver, batches_per_epoch
+from ..optim.base import BatchSchedule, LocalSolver
 from ..optim.inexactness import gamma_inexactness
 from ..optim.proximal import LocalObjective
 
@@ -39,6 +40,11 @@ class ClientUpdate:
         worker process boundary — when the task requested timing
         collection; ``None`` otherwise.  Purely observational: timings
         never influence aggregation or histories.
+    fault:
+        The injected fault that struck this solve (see
+        :mod:`repro.faults`), stamped where the solve ran; ``None`` for a
+        healthy solve.  The server's fault policy reads it to decide
+        retry/accept/drop and stale buffering.
     """
 
     client_id: int
@@ -48,6 +54,7 @@ class ClientUpdate:
     gradient_evaluations: int
     gamma: Optional[float] = None
     timings: Optional[Dict[str, float]] = None
+    fault: Optional[FaultDecision] = None
 
 
 class Client:
@@ -126,7 +133,7 @@ class Client:
         objective = self.make_objective(w_global, mu, correction=correction)
         w_local = self.solver.solve(objective, w_global, epochs, rng)
         batch_size = getattr(self.solver, "batch_size", self.data.num_train)
-        per_epoch = batches_per_epoch(self.data.num_train, batch_size)
+        per_epoch = BatchSchedule(self.data.num_train, batch_size).per_epoch
         evaluations = max(1, int(round(epochs * per_epoch)))
         gamma = (
             gamma_inexactness(objective, w_local, w_global)

@@ -1,0 +1,287 @@
+"""Config-first trainer construction: :class:`TrainerConfig`.
+
+:class:`~repro.core.server.FederatedTrainer` historically took ~20 flat
+keyword arguments.  :class:`TrainerConfig` groups them into four frozen
+sub-sections matching the trainer's concerns:
+
+* :class:`OptimizationConfig` — the algorithm itself (µ, E, straggler
+  semantics, adaptive-µ controller).
+* :class:`CohortConfig` — who participates and under what simulated
+  environment (K, sampling scheme, systems model, fault schedule + policy).
+* :class:`EvaluationConfig` — when and how the federation is evaluated.
+* :class:`DiagnosticsConfig` — observability (γ/dissimilarity tracking,
+  telemetry, cost accounting).
+
+Construct with ``FederatedTrainer.from_config(dataset, model, solver,
+config)``; the flat-kwargs path keeps working and the two construct
+identical trainers (``from_kwargs``/``to_kwargs`` convert losslessly).
+Scalar-valued configs additionally round-trip through JSON-friendly dicts
+(:meth:`TrainerConfig.to_dict` / :meth:`TrainerConfig.from_dict`), which is
+also what the telemetry manifest embeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from ..faults.models import FaultSchedule, fault_schedule_from_dict
+from ..faults.policy import FaultPolicy
+from ..systems.costs import CostTracker
+from ..systems.stragglers import (
+    FractionStragglers,
+    NoHeterogeneity,
+    SystemsModel,
+)
+from .adaptive_mu import AdaptiveMuController
+from .sampling import SamplingScheme
+
+if TYPE_CHECKING:  # avoid importing the runtime at module load
+    from ..runtime.executor import RoundExecutor
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """The algorithm: proximal term, work target, straggler semantics."""
+
+    mu: float = 0.0
+    epochs: float = 20
+    drop_stragglers: bool = False
+    mu_controller: Optional[AdaptiveMuController] = None
+
+
+@dataclass(frozen=True)
+class CohortConfig:
+    """Who participates each round, and the simulated environment."""
+
+    clients_per_round: int = 10
+    sampling: Optional[SamplingScheme] = None
+    systems: Optional[SystemsModel] = None
+    faults: Optional[FaultSchedule] = None
+    fault_policy: Optional[FaultPolicy] = None
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """When and how the global model is evaluated."""
+
+    eval_every: int = 1
+    eval_test: bool = True
+    eval_mode: str = "auto"
+
+
+@dataclass(frozen=True)
+class DiagnosticsConfig:
+    """Observability: paper diagnostics, telemetry, cost accounting."""
+
+    track_dissimilarity: bool = False
+    track_gamma: bool = False
+    dissimilarity_max_clients: Optional[int] = None
+    telemetry: Any = None
+    cost_tracker: Optional[CostTracker] = None
+
+
+#: kwargs name -> (section attribute, field name); the single source of
+#: truth for the flat-kwargs <-> config correspondence.
+_KWARG_MAP = {
+    "mu": ("optimization", "mu"),
+    "epochs": ("optimization", "epochs"),
+    "drop_stragglers": ("optimization", "drop_stragglers"),
+    "mu_controller": ("optimization", "mu_controller"),
+    "clients_per_round": ("cohorting", "clients_per_round"),
+    "sampling": ("cohorting", "sampling"),
+    "systems": ("cohorting", "systems"),
+    "faults": ("cohorting", "faults"),
+    "fault_policy": ("cohorting", "fault_policy"),
+    "eval_every": ("evaluation", "eval_every"),
+    "eval_test": ("evaluation", "eval_test"),
+    "eval_mode": ("evaluation", "eval_mode"),
+    "track_dissimilarity": ("diagnostics", "track_dissimilarity"),
+    "track_gamma": ("diagnostics", "track_gamma"),
+    "dissimilarity_max_clients": ("diagnostics", "dissimilarity_max_clients"),
+    "telemetry": ("diagnostics", "telemetry"),
+    "cost_tracker": ("diagnostics", "cost_tracker"),
+}
+
+
+def _describe_object(value: Any) -> Any:
+    """JSON-friendly description of one config field value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, FaultSchedule):
+        return value.to_dict()
+    if isinstance(value, FaultPolicy):
+        return dict(value.to_dict(), type="FaultPolicy")
+    if isinstance(value, NoHeterogeneity):
+        return {"type": "NoHeterogeneity"}
+    if isinstance(value, FractionStragglers):
+        return {
+            "type": "FractionStragglers",
+            "fraction": value.fraction,
+            "seed": value.seed,
+        }
+    return {"type": type(value).__name__}
+
+
+def _restore_object(section: str, name: str, value: Any) -> Any:
+    """Inverse of :func:`_describe_object` for reconstructible values."""
+    if not isinstance(value, dict):
+        return value
+    kind = value.get("type")
+    spec = {k: v for k, v in value.items() if k != "type"}
+    if name == "faults":
+        return fault_schedule_from_dict(value)
+    if kind == "FaultPolicy":
+        return FaultPolicy.from_dict(spec)
+    if kind == "NoHeterogeneity":
+        return NoHeterogeneity()
+    if kind == "FractionStragglers":
+        return FractionStragglers(**spec)
+    raise ValueError(
+        f"cannot reconstruct {section}.{name} from {value!r}; pass the "
+        "object directly instead of a dict description"
+    )
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Grouped, immutable configuration for one federated training run.
+
+    Attributes
+    ----------
+    optimization, cohorting, evaluation, diagnostics:
+        The four concern groups (see module docstring).
+    seed:
+        Seed fixing device selection, straggler/fault draws, and
+        mini-batch orders.
+    executor:
+        Round execution engine — an executor spec string (``"serial"``,
+        ``"parallel"``, ``"parallel:N"``, ``"parallel:auto"``,
+        ``"cohort"``) or a prebuilt
+        :class:`~repro.runtime.executor.RoundExecutor`; ``None`` selects
+        the serial default.
+    label:
+        Display name for histories and telemetry manifests.
+    """
+
+    optimization: OptimizationConfig = field(default_factory=OptimizationConfig)
+    cohorting: CohortConfig = field(default_factory=CohortConfig)
+    evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
+    diagnostics: DiagnosticsConfig = field(default_factory=DiagnosticsConfig)
+    seed: int = 0
+    executor: Optional[Union[str, "RoundExecutor"]] = None
+    label: str = ""
+
+    # Flat-kwargs correspondence ----------------------------------------- #
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "TrainerConfig":
+        """Group the trainer's historical flat kwargs into a config.
+
+        Accepts exactly the keyword arguments of
+        :meth:`FederatedTrainer.__init__ <repro.core.server.FederatedTrainer>`
+        (minus ``dataset``/``model``/``solver``/``callbacks``); unknown
+        names raise ``TypeError`` so typos fail loudly.
+        """
+        sections: Dict[str, Dict[str, Any]] = {
+            "optimization": {},
+            "cohorting": {},
+            "evaluation": {},
+            "diagnostics": {},
+        }
+        top: Dict[str, Any] = {}
+        for name, value in kwargs.items():
+            if name in ("seed", "executor", "label"):
+                top[name] = value
+            elif name in _KWARG_MAP:
+                section, attr = _KWARG_MAP[name]
+                sections[section][attr] = value
+            else:
+                raise TypeError(f"unknown trainer option {name!r}")
+        return cls(
+            optimization=OptimizationConfig(**sections["optimization"]),
+            cohorting=CohortConfig(**sections["cohorting"]),
+            evaluation=EvaluationConfig(**sections["evaluation"]),
+            diagnostics=DiagnosticsConfig(**sections["diagnostics"]),
+            **top,
+        )
+
+    def to_kwargs(self) -> Dict[str, Any]:
+        """The flat kwargs reconstructing this config's trainer."""
+        kwargs: Dict[str, Any] = {}
+        for name, (section, attr) in _KWARG_MAP.items():
+            kwargs[name] = getattr(getattr(self, section), attr)
+        kwargs["seed"] = self.seed
+        kwargs["executor"] = self.executor
+        kwargs["label"] = self.label
+        return kwargs
+
+    # Dict round-trip ------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested, JSON-friendly description of this configuration.
+
+        Scalar fields serialize verbatim; fault schedules, fault policies,
+        and the built-in systems models serialize to reconstructible dict
+        specs.  Other objects (custom sampling schemes, live telemetry,
+        executor instances) are described by class name only —
+        :meth:`from_dict` refuses those, keeping the round-trip honest.
+        """
+        out: Dict[str, Any] = {}
+        for section_name in ("optimization", "cohorting", "evaluation", "diagnostics"):
+            section = getattr(self, section_name)
+            out[section_name] = {
+                f.name: _describe_object(getattr(section, f.name))
+                for f in fields(section)
+            }
+        out["seed"] = self.seed
+        out["executor"] = (
+            self.executor
+            if self.executor is None or isinstance(self.executor, str)
+            else type(self.executor).__name__
+        )
+        out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "TrainerConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Lossless for configs whose object-valued fields are ``None`` or
+        reconstructible specs (fault schedules/policies, built-in systems
+        models); raises ``ValueError`` for descriptions of objects that
+        cannot be rebuilt from scalars.
+        """
+        section_classes = {
+            "optimization": OptimizationConfig,
+            "cohorting": CohortConfig,
+            "evaluation": EvaluationConfig,
+            "diagnostics": DiagnosticsConfig,
+        }
+        built: Dict[str, Any] = {}
+        for section_name, section_cls in section_classes.items():
+            values = dict(spec.get(section_name, {}))
+            restored = {
+                name: _restore_object(section_name, name, value)
+                for name, value in values.items()
+            }
+            built[section_name] = section_cls(**restored)
+        return cls(
+            seed=spec.get("seed", 0),
+            executor=spec.get("executor"),
+            label=spec.get("label", ""),
+            **built,
+        )
+
+    # Ergonomics ----------------------------------------------------------- #
+    def replace(self, **kwargs: Any) -> "TrainerConfig":
+        """A copy with flat trainer options replaced (config is frozen).
+
+        Accepts the same names as :meth:`from_kwargs` — section routing is
+        handled internally, so ``config.replace(mu=1.0, eval_every=5)``
+        works without touching sub-sections.
+        """
+        flat = self.to_kwargs()
+        for name, value in kwargs.items():
+            if name not in flat:
+                raise TypeError(f"unknown trainer option {name!r}")
+            flat[name] = value
+        return TrainerConfig.from_kwargs(**flat)

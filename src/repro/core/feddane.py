@@ -44,6 +44,12 @@ class FedDaneTrainer(FederatedTrainer):
 
     def __init__(self, *args, gradient_clients: Optional[int] = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        if self.faults.enabled:
+            raise NotImplementedError(
+                "FedDaneTrainer overrides _local_updates without executor "
+                "dispatch and does not support fault injection; use "
+                "FederatedTrainer with faults=... instead"
+            )
         self.gradient_clients = (
             int(gradient_clients)
             if gradient_clients is not None

@@ -38,7 +38,12 @@ class RoundRecord:
     stragglers:
         Selected devices that could not complete the full E epochs.
     dropped:
-        Devices whose updates were discarded (FedAvg's straggler handling).
+        Devices whose updates were discarded (FedAvg's straggler handling,
+        or a fault-policy decision — offline, crash-drop, quarantine).
+    degraded:
+        ``True`` when the fault policy's minimum-quorum guard rejected the
+        round's aggregation (too few surviving updates); the global model
+        was carried over unchanged.
     """
 
     round_idx: int
@@ -51,6 +56,7 @@ class RoundRecord:
     selected: List[int] = field(default_factory=list)
     stragglers: List[int] = field(default_factory=list)
     dropped: List[int] = field(default_factory=list)
+    degraded: bool = False
 
 
 class TrainingHistory:

@@ -32,6 +32,9 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..datasets.federated import FederatedDataset
+from ..faults.manager import FaultManager, RoundFaultReport
+from ..faults.models import FaultSchedule, resolve_faults
+from ..faults.policy import FaultPolicy
 from ..models.base import FederatedModel
 from ..optim.base import LocalSolver
 from ..runtime.evaluation import no_test_samples_error
@@ -42,6 +45,7 @@ from ..telemetry import MetricsRegistry, resolve_telemetry
 from .adaptive_mu import AdaptiveMuController
 from .callbacks import Callback
 from .client import Client, ClientUpdate
+from .config import TrainerConfig
 from .dissimilarity import DissimilarityReport, measure_dissimilarity
 from .history import RoundRecord, TrainingHistory
 from .sampling import SamplingScheme, UniformSamplingWeightedAverage
@@ -106,6 +110,20 @@ class FederatedTrainer:
     systems:
         Systems-heterogeneity model assigning per-device work budgets;
         defaults to no heterogeneity.
+    faults:
+        Fault schedule injecting per-(round, client) failures — crashes,
+        dropouts, update corruption, stale deliveries (see
+        :mod:`repro.faults`).  Defaults to
+        :class:`~repro.faults.models.NoFaults`, under which the trainer's
+        behavior and histories are bit-identical to a fault-free trainer.
+        Fault draws are pure functions of the schedule's seed, so seeded
+        runs reproduce exactly and are identical on every executor.
+    fault_policy:
+        Server-side robustness policy resolving injected faults (crash
+        retry/accept/drop, NaN quarantine, minimum aggregation quorum);
+        defaults to :class:`~repro.faults.policy.FaultPolicy`'s
+        FedProx-style accept-partial semantics.  Only consulted when
+        ``faults`` is enabled.
     mu_controller:
         Optional adaptive-µ controller; when given, it overrides ``mu``
         from the second round onward.
@@ -133,11 +151,13 @@ class FederatedTrainer:
     executor:
         Round execution engine; defaults to
         :class:`~repro.runtime.executor.SerialExecutor`.  Accepts either a
-        :class:`~repro.runtime.executor.RoundExecutor` instance or a mode
-        string — ``"serial"``, ``"parallel"`` (persistent worker
-        processes), or ``"cohort"`` (all selected clients' local solves
-        advanced simultaneously through stacked NumPy kernels; requires a
-        model advertising ``supports_stacked_local_solve`` and a solver
+        :class:`~repro.runtime.executor.RoundExecutor` instance or a spec
+        string parsed by :func:`repro.runtime.make_executor` — ``"serial"``,
+        ``"parallel"`` / ``"parallel:N"`` / ``"parallel:auto"`` (persistent
+        worker processes, optionally with the worker count), or
+        ``"cohort"`` (all selected clients' local solves advanced
+        simultaneously through stacked NumPy kernels; requires a model
+        advertising ``supports_stacked_local_solve`` and a solver
         advertising ``supports_stacked_solve``).  All engines yield
         bit-comparable histories (see :mod:`repro.runtime`).  Call
         :meth:`close` (or use the trainer as a context manager) to release
@@ -172,6 +192,8 @@ class FederatedTrainer:
         epochs: float = 20,
         sampling: Optional[SamplingScheme] = None,
         systems: Optional[SystemsModel] = None,
+        faults: Optional[FaultSchedule] = None,
+        fault_policy: Optional[FaultPolicy] = None,
         mu_controller: Optional[AdaptiveMuController] = None,
         seed: int = 0,
         eval_every: int = 1,
@@ -200,6 +222,13 @@ class FederatedTrainer:
             dataset, clients_per_round, seed=seed
         )
         self.systems = systems or NoHeterogeneity()
+        self.faults = resolve_faults(faults)
+        if fault_policy is not None and not isinstance(fault_policy, FaultPolicy):
+            raise TypeError(
+                f"fault_policy must be a FaultPolicy, got "
+                f"{type(fault_policy).__name__}"
+            )
+        self.fault_policy = fault_policy or FaultPolicy()
         self.mu_controller = mu_controller
         if mu_controller is not None:
             self.mu = mu_controller.mu
@@ -217,6 +246,15 @@ class FederatedTrainer:
 
         self.telemetry = resolve_telemetry(telemetry)
         self.metrics = MetricsRegistry(self.telemetry)
+        # The manager only exists when faults are enabled: the NoFaults
+        # default keeps _local_updates on its original code path, so
+        # fault-free histories stay bit-identical to earlier versions.
+        self._fault_manager: Optional[FaultManager] = (
+            FaultManager(self.faults, self.fault_policy, telemetry=self.telemetry)
+            if self.faults.enabled
+            else None
+        )
+        self._last_fault_report: Optional[RoundFaultReport] = None
 
         self.clients: List[Client] = [
             Client(data, model, solver) for data in dataset
@@ -243,6 +281,29 @@ class FederatedTrainer:
         self._last_dissimilarity: Optional[DissimilarityReport] = None
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(
+        cls,
+        dataset: FederatedDataset,
+        model: FederatedModel,
+        solver: LocalSolver,
+        config: TrainerConfig,
+        callbacks: Optional[List[Callback]] = None,
+    ) -> "FederatedTrainer":
+        """Build a trainer from a :class:`~repro.core.config.TrainerConfig`.
+
+        Equivalent to passing the config's options as flat keyword
+        arguments — both paths construct identical trainers — but the
+        grouped config travels better: it is frozen, serializes via
+        ``config.to_dict()``, and sweeps derive variants with
+        ``config.replace(mu=...)``.
+        """
+        if not isinstance(config, TrainerConfig):
+            raise TypeError(
+                f"config must be a TrainerConfig, got {type(config).__name__}"
+            )
+        return cls(dataset, model, solver, callbacks=callbacks, **config.to_kwargs())
+
     def describe(self) -> str:
         """Canonical display name for this configuration."""
         if self.drop_stragglers and self.mu == 0 and self.mu_controller is None:
@@ -281,6 +342,9 @@ class FederatedTrainer:
             "track_dissimilarity": self.track_dissimilarity,
             "adaptive_mu": self.mu_controller is not None,
         }
+        if self.faults.enabled:
+            config["faults"] = self.faults.to_dict()
+            config["fault_policy"] = self.fault_policy.to_dict()
         config.update(self.solver.telemetry_tags())
         self.telemetry.manifest(
             label=self.label,
@@ -313,13 +377,20 @@ class FederatedTrainer:
         assignment and hands the batch to the round executor; results come
         back in task order, so aggregation is independent of how (or where)
         the solves actually ran.
+
+        When a fault schedule is enabled, the pending solves route through
+        the :class:`~repro.faults.manager.FaultManager` instead — it draws
+        faults, dispatches (and possibly re-dispatches) through the same
+        executor, and applies the robustness policy.  With faults disabled
+        the task list below is exactly the historical one, so fault-free
+        histories are bit-identical to earlier versions.
         """
         assignments = self.systems.assign(round_idx, selected, self.epochs)
         cost = None
         if self.cost_tracker is not None:
             cost = self.cost_tracker.start_round(round_idx, len(selected))
 
-        tasks: List[LocalTask] = []
+        pending: List[Tuple[int, float, int]] = []
         stragglers: List[int] = []
         dropped: List[int] = []
         occurrence_count: dict = {}
@@ -332,18 +403,38 @@ class FederatedTrainer:
                 if self.drop_stragglers:
                     dropped.append(cid)
                     continue
-            tasks.append(
-                LocalTask(
-                    client_id=cid,
-                    w_global=self.w,
-                    mu=self.mu,
-                    epochs=assignment.epochs,
-                    rng_entropy=self._batch_entropy(round_idx, cid, occurrence),
-                    measure_gamma=self.track_gamma,
-                    collect_timings=self.telemetry.enabled,
-                )
+            pending.append((cid, assignment.epochs, occurrence))
+
+        def build_task(cid, epochs, occurrence, extra_entropy, fault):
+            return LocalTask(
+                client_id=cid,
+                w_global=self.w,
+                mu=self.mu,
+                epochs=epochs,
+                rng_entropy=self._batch_entropy(round_idx, cid, occurrence)
+                + tuple(extra_entropy),
+                measure_gamma=self.track_gamma,
+                collect_timings=self.telemetry.enabled,
+                fault=fault,
             )
-        updates = self.executor.run_local_solves(tasks)
+
+        if self._fault_manager is None:
+            tasks = [
+                build_task(cid, epochs, occurrence, (), None)
+                for cid, epochs, occurrence in pending
+            ]
+            updates = self.executor.run_local_solves(tasks)
+            self._last_fault_report = None
+        else:
+            updates, report = self._fault_manager.execute_round(
+                round_idx,
+                pending,
+                build_task,
+                self.executor.run_local_solves,
+                num_selected=len(selected),
+            )
+            dropped.extend(report.dropped)
+            self._last_fault_report = report
         if cost is not None:
             for update in updates:
                 self.cost_tracker.record_upload(
@@ -400,6 +491,8 @@ class FederatedTrainer:
         record.selected = list(selected)
         record.stragglers = stragglers
         record.dropped = dropped
+        if self._last_fault_report is not None:
+            record.degraded = self._last_fault_report.degraded
         if self.track_gamma:
             gammas = [u.gamma for u in updates if u.gamma is not None]
             finite = [g for g in gammas if np.isfinite(g)]
@@ -457,6 +550,13 @@ class FederatedTrainer:
         registry.counter("solves_total").inc(len(updates))
         registry.counter("stragglers_total").inc(len(record.stragglers))
         registry.counter("dropped_total").inc(len(record.dropped))
+        if self._fault_manager is not None:
+            # Cumulative fault counters ride the registry as gauges: the
+            # manager already emitted the per-event counters
+            # (fault:injected / fault:retry / fault:quarantine /
+            # round:degraded) at decision time.
+            for name, value in self._fault_manager.stats.as_dict().items():
+                registry.gauge(f"faults.{name}").set(value)
 
         if updates:
             # Client drift ||w_k - w_t|| and the proximal-term magnitude
@@ -552,6 +652,18 @@ class FederatedTrainer:
             )
 
     # ------------------------------------------------------------------ #
+    @property
+    def fault_stats(self) -> dict:
+        """Cumulative fault counters for this run (all zero when disabled).
+
+        See :class:`~repro.faults.manager.FaultStats` for the keys.
+        """
+        if self._fault_manager is None:
+            from ..faults.manager import FaultStats
+
+            return FaultStats().as_dict()
+        return self._fault_manager.stats.as_dict()
+
     def close(self) -> None:
         """Release executor resources and flush telemetry; idempotent.
 

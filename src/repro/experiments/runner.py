@@ -16,10 +16,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.adaptive_mu import AdaptiveMuController
+from ..core.config import TrainerConfig
 from ..core.feddane import FedDaneTrainer
 from ..core.sampling import SamplingScheme, UniformSamplingWeightedAverage
 from ..core.server import FederatedTrainer
 from ..core.history import TrainingHistory
+from ..faults.models import FaultSchedule
+from ..faults.policy import FaultPolicy
 from ..optim.sgd import SGDSolver
 from ..systems.stragglers import FractionStragglers, NoHeterogeneity, SystemsModel
 from ..telemetry import JSONLSink, Telemetry
@@ -51,6 +54,13 @@ class MethodSpec:
         Run the FedDane gradient-correction variant.
     gradient_clients:
         FedDane's ``c`` (defaults to ``K``).
+    fault_policy:
+        Per-method robustness policy (see :mod:`repro.faults`); only
+        consulted when the comparison injects faults (``run_methods``'s
+        ``faults=`` argument).  ``None`` uses the trainer's default
+        accept-partial policy.  Letting each method carry its own policy
+        is how robustness comparisons work: same fault environment, same
+        seed, different server-side handling.
     """
 
     label: str
@@ -59,6 +69,7 @@ class MethodSpec:
     adaptive_mu_from: Optional[float] = None
     feddane: bool = False
     gradient_clients: Optional[int] = None
+    fault_policy: Optional[FaultPolicy] = None
 
 
 #: The three methods of Figure 1 at a given best-µ.
@@ -81,8 +92,16 @@ def build_trainer(
     track_dissimilarity: bool = False,
     epochs: Optional[float] = None,
     telemetry=None,
+    faults: Optional[FaultSchedule] = None,
 ) -> FederatedTrainer:
-    """Instantiate the trainer described by ``spec`` for one workload."""
+    """Instantiate the trainer described by ``spec`` for one workload.
+
+    Builds through the config-first path: the spec/workload/scale options
+    are grouped into a :class:`~repro.core.config.TrainerConfig` and handed
+    to :meth:`FederatedTrainer.from_config` (FedDane, which needs its extra
+    ``gradient_clients`` argument and supports no fault injection, still
+    constructs directly).
+    """
     model = workload.model_factory()
     solver = SGDSolver(workload.learning_rate, batch_size=scale.batch_size)
     sampling_factory = sampling_factory or UniformSamplingWeightedAverage
@@ -94,15 +113,14 @@ def build_trainer(
         if spec.adaptive_mu_from is not None
         else None
     )
-    common = dict(
-        dataset=workload.dataset,
-        model=model,
-        solver=solver,
+    config = TrainerConfig.from_kwargs(
         mu=spec.mu,
         drop_stragglers=spec.drop_stragglers,
         epochs=epochs if epochs is not None else scale.epochs,
         sampling=sampling,
         systems=systems,
+        faults=faults,
+        fault_policy=spec.fault_policy,
         seed=seed,
         eval_every=scale.eval_every,
         track_dissimilarity=track_dissimilarity,
@@ -112,9 +130,16 @@ def build_trainer(
         label=spec.label,
     )
     if spec.feddane:
-        common.pop("mu_controller")
-        return FedDaneTrainer(gradient_clients=spec.gradient_clients, **common)
-    return FederatedTrainer(**common)
+        kwargs = config.to_kwargs()
+        kwargs.pop("mu_controller")
+        return FedDaneTrainer(
+            dataset=workload.dataset,
+            model=model,
+            solver=solver,
+            gradient_clients=spec.gradient_clients,
+            **kwargs,
+        )
+    return FederatedTrainer.from_config(workload.dataset, model, solver, config)
 
 
 def run_methods(
@@ -128,6 +153,7 @@ def run_methods(
     track_dissimilarity: bool = False,
     epochs: Optional[float] = None,
     telemetry_dir: Optional[str] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> Dict[str, TrainingHistory]:
     """Run each method on a workload under a shared environment.
 
@@ -157,6 +183,12 @@ def run_methods(
         (manifest header plus per-round span/metric events; the directory
         is created if needed).  ``None`` (the default) disables
         instrumentation entirely.
+    faults:
+        Shared fault schedule (see :mod:`repro.faults`): every method faces
+        the *same* deterministic fault draws, extending the paper's
+        fairness protocol to failures.  Each method handles them per its
+        own ``MethodSpec.fault_policy``.  ``None`` (the default) injects
+        nothing and leaves histories bit-identical to a fault-free run.
 
     Returns
     -------
@@ -191,6 +223,7 @@ def run_methods(
             track_dissimilarity=track_dissimilarity,
             epochs=epochs,
             telemetry=telemetry,
+            faults=faults,
         )
         try:
             results[spec.label] = trainer.run(num_rounds)

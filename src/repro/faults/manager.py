@@ -1,0 +1,347 @@
+"""Round-level fault orchestration: draws, retries, quarantine, quorum.
+
+:class:`FaultManager` is the stateful counterpart of the pure
+:class:`~repro.faults.models.FaultSchedule` /
+:class:`~repro.faults.policy.FaultPolicy` pair.  The trainer owns one
+manager per run; each round the manager
+
+1. draws every pending solve's fault from the schedule (skipping
+   quarantined clients outright),
+2. dispatches the surviving tasks through the trainer's executor (the
+   manager never cares *which* executor — tasks are pure descriptions, so
+   serial/parallel/cohort all yield identical outcomes),
+3. resolves crashes per policy — retry waves with fresh sub-seeds and
+   simulated backoff, accept-partial, or drop,
+4. quarantines non-finite updates and books suspicion counters,
+5. buffers/delivers stale updates, and
+6. enforces the minimum aggregation quorum.
+
+Every decision is emitted through the PR 3 telemetry schema as it happens
+(``fault:injected`` / ``fault:retry`` / ``fault:quarantine`` /
+``round:degraded`` counter events) and accumulated in cumulative
+:class:`FaultStats` counters that feed the trainer's metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..telemetry import NULL_TELEMETRY, resolve_telemetry
+from .models import FaultDecision, FaultSchedule
+from .policy import FaultPolicy
+
+#: Entropy-tuple salt separating retry dispatches from first attempts.
+RETRY_SALT = 0x4E7F
+
+
+@dataclass
+class FaultStats:
+    """Cumulative fault counters for one training run."""
+
+    injected: int = 0
+    crashes: int = 0
+    offline: int = 0
+    retries: int = 0
+    crash_dropped: int = 0
+    quarantined_updates: int = 0
+    quarantined_clients: int = 0
+    quarantine_skips: int = 0
+    stale_held: int = 0
+    stale_delivered: int = 0
+    quorum_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class RoundFaultReport:
+    """What the fault layer did during one round.
+
+    ``dropped`` collects every client whose update was discarded for a
+    fault-related reason (offline, crash-drop, quarantine) — the trainer
+    merges it into the round record's ``dropped`` list.
+    """
+
+    offline: List[int] = field(default_factory=list)
+    crashed: List[int] = field(default_factory=list)
+    retried: Dict[int, int] = field(default_factory=dict)
+    dropped: List[int] = field(default_factory=list)
+    quarantined: List[int] = field(default_factory=list)
+    stale_held: List[int] = field(default_factory=list)
+    stale_delivered: List[int] = field(default_factory=list)
+    degraded: bool = False
+
+    @property
+    def any_fault(self) -> bool:
+        return bool(
+            self.offline
+            or self.crashed
+            or self.quarantined
+            or self.stale_held
+            or self.stale_delivered
+            or self.degraded
+        )
+
+
+#: One pending solve: ``(client_id, epochs_budget, occurrence)``.
+PendingSolve = Tuple[int, float, int]
+
+
+class FaultManager:
+    """Applies a fault schedule + robustness policy to the trainer's rounds.
+
+    Parameters
+    ----------
+    schedule:
+        The fault model (deterministic per-(round, client, attempt) draws).
+    policy:
+        The robustness policy (crash handling, quarantine, quorum).
+    telemetry:
+        Event sink façade; fault events are emitted as ``counter`` metrics
+        so they land in the same JSONL artifacts as spans and diagnostics.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        policy: FaultPolicy,
+        telemetry=None,
+    ) -> None:
+        self.schedule = schedule
+        self.policy = policy
+        self.telemetry = resolve_telemetry(telemetry)
+        self.stats = FaultStats()
+        self.suspicion: Dict[int, int] = {}
+        self.quarantined_clients: Set[int] = set()
+        # Stale deliveries: (arrival_round, insertion_order, update).
+        self._stale_buffer: List[Tuple[int, int, object]] = []
+        self._stale_counter = 0
+
+    # Event helpers -------------------------------------------------------- #
+    def _event(self, name: str, round_idx: int, **attrs) -> None:
+        self.telemetry.metric(name, 1, round_idx=round_idx, kind="counter", **attrs)
+
+    # Round orchestration -------------------------------------------------- #
+    def execute_round(
+        self,
+        round_idx: int,
+        pending: Sequence[PendingSolve],
+        build_task: Callable[[int, float, int, Tuple[int, ...], Optional[FaultDecision]], object],
+        dispatch: Callable[[Sequence[object]], List[object]],
+        num_selected: int,
+    ) -> Tuple[List[object], RoundFaultReport]:
+        """Run one round's solves under the fault schedule and policy.
+
+        Parameters
+        ----------
+        round_idx:
+            Current communication round.
+        pending:
+            The non-dropped assignments: ``(client_id, epochs, occurrence)``.
+        build_task:
+            ``(client_id, epochs, occurrence, extra_entropy, fault) ->
+            LocalTask`` — the trainer's task factory; ``extra_entropy``
+            appends retry sub-seed components to the batch entropy tuple.
+        dispatch:
+            The bound executor's ``run_local_solves``.
+        num_selected:
+            Size of the round's selection (the quorum denominator).
+
+        Returns
+        -------
+        (updates, report):
+            Updates surviving the policy, in dispatch order (stale
+            deliveries appended last), and the round's fault report.
+            ``updates`` is empty when the quorum guard degraded the round.
+        """
+        policy = self.policy
+        report = RoundFaultReport()
+
+        # 1. Draw faults and plan the first dispatch wave.
+        tasks: List[object] = []
+        entries: List[PendingSolve] = []
+        for cid, epochs, occurrence in pending:
+            if cid in self.quarantined_clients:
+                self.stats.quarantine_skips += 1
+                report.dropped.append(cid)
+                continue
+            decision = self.schedule.draw(round_idx, cid, attempt=0)
+            if decision is not None:
+                self.stats.injected += 1
+                self._event(
+                    "fault:injected", round_idx,
+                    client_id=cid, fault=decision.kind, attempt=0,
+                )
+            if decision is not None and decision.kind == "dropout":
+                self.stats.offline += 1
+                report.offline.append(cid)
+                report.dropped.append(cid)
+                continue
+            tasks.append(build_task(cid, epochs, occurrence, (), decision))
+            entries.append((cid, epochs, occurrence))
+        updates = list(dispatch(tasks)) if tasks else []
+
+        # 2. Resolve crashes per policy.
+        crashed_idx = [
+            i for i, u in enumerate(updates)
+            if u.fault is not None and u.fault.kind == "crash"
+        ]
+        for i in crashed_idx:
+            self.stats.crashes += 1
+            report.crashed.append(entries[i][0])
+        if crashed_idx and policy.on_crash == "drop":
+            for i in crashed_idx:
+                self.stats.crash_dropped += 1
+                report.dropped.append(entries[i][0])
+            updates = [u for i, u in enumerate(updates) if i not in set(crashed_idx)]
+            entries = [e for i, e in enumerate(entries) if i not in set(crashed_idx)]
+        elif crashed_idx and policy.on_crash == "retry":
+            updates, entries, report = self._retry_crashed(
+                round_idx, updates, entries, crashed_idx,
+                build_task, dispatch, report,
+            )
+        # "accept_partial": crashed updates stay as they are — their
+        # truncated-budget iterates are FedProx partial solutions.
+
+        # 3. Quarantine non-finite updates, book suspicion.
+        survivors: List[object] = []
+        surviving_entries: List[PendingSolve] = []
+        for update, entry in zip(updates, entries):
+            if not np.all(np.isfinite(update.w)):
+                cid = entry[0]
+                self.stats.quarantined_updates += 1
+                report.quarantined.append(cid)
+                report.dropped.append(cid)
+                count = self.suspicion.get(cid, 0) + 1
+                self.suspicion[cid] = count
+                self._event(
+                    "fault:quarantine", round_idx,
+                    client_id=cid, suspicion=count,
+                )
+                if (
+                    count >= policy.quarantine_threshold
+                    and cid not in self.quarantined_clients
+                ):
+                    self.quarantined_clients.add(cid)
+                    self.stats.quarantined_clients += 1
+                continue
+            survivors.append(update)
+            surviving_entries.append(entry)
+        updates, entries = survivors, surviving_entries
+
+        # 4. Hold back stale deliveries; release matured ones.
+        timely: List[object] = []
+        for update, entry in zip(updates, entries):
+            if update.fault is not None and update.fault.kind == "stale":
+                self.stats.stale_held += 1
+                report.stale_held.append(entry[0])
+                self._stale_buffer.append(
+                    (round_idx + update.fault.delay, self._stale_counter, update)
+                )
+                self._stale_counter += 1
+                continue
+            timely.append(update)
+        matured = [
+            item for item in self._stale_buffer if item[0] <= round_idx
+        ]
+        if matured:
+            self._stale_buffer = [
+                item for item in self._stale_buffer if item[0] > round_idx
+            ]
+            for _, _, update in sorted(matured, key=lambda item: item[:2]):
+                self.stats.stale_delivered += 1
+                report.stale_delivered.append(update.client_id)
+                timely.append(update)
+        updates = timely
+
+        # 5. Minimum-quorum guard.
+        quorum = policy.quorum_for(num_selected)
+        if quorum and len(updates) < quorum:
+            self.stats.quorum_misses += 1
+            report.degraded = True
+            self._event(
+                "round:degraded", round_idx,
+                survivors=len(updates), quorum=quorum,
+            )
+            updates = []
+        return updates, report
+
+    # Crash retries -------------------------------------------------------- #
+    def _retry_crashed(
+        self,
+        round_idx: int,
+        updates: List[object],
+        entries: List[PendingSolve],
+        crashed_idx: List[int],
+        build_task,
+        dispatch,
+        report: RoundFaultReport,
+    ) -> Tuple[List[object], List[PendingSolve], RoundFaultReport]:
+        """Retry crashed solves in waves; resolve stragglers per fallback.
+
+        Each retry attempt re-draws the fault schedule (a retry may crash
+        or drop out again) and re-derives the mini-batch sub-seed from
+        ``(RETRY_SALT, attempt)``, so retry outcomes are as deterministic
+        and executor-independent as first attempts.  All solves failing at
+        the same attempt level are dispatched as one wave, preserving
+        batch-level parallelism.
+        """
+        policy = self.policy
+        # index -> last recovered partial update (None after a dropout-only
+        # chain would be impossible: the first attempt always yields one).
+        failed: Dict[int, object] = {i: updates[i] for i in crashed_idx}
+        for attempt in range(1, policy.max_retries + 1):
+            if not failed:
+                break
+            wave_tasks = []
+            wave_idx = []
+            for i in sorted(failed):
+                cid, epochs, occurrence = entries[i]
+                self.stats.retries += 1
+                report.retried[cid] = attempt
+                self._event(
+                    "fault:retry", round_idx,
+                    client_id=cid, attempt=attempt,
+                    backoff=policy.backoff(attempt),
+                )
+                decision = self.schedule.draw(round_idx, cid, attempt=attempt)
+                if decision is not None:
+                    self.stats.injected += 1
+                    self._event(
+                        "fault:injected", round_idx,
+                        client_id=cid, fault=decision.kind, attempt=attempt,
+                    )
+                if decision is not None and decision.kind == "dropout":
+                    # Device unreachable this attempt; nothing to dispatch.
+                    self.stats.offline += 1
+                    continue
+                wave_tasks.append(
+                    build_task(
+                        cid, epochs, occurrence, (RETRY_SALT, attempt), decision
+                    )
+                )
+                wave_idx.append(i)
+            wave_updates = list(dispatch(wave_tasks)) if wave_tasks else []
+            for i, update in zip(wave_idx, wave_updates):
+                if update.fault is not None and update.fault.kind == "crash":
+                    self.stats.crashes += 1
+                    failed[i] = update  # fresher partial iterate
+                else:
+                    updates[i] = update
+                    del failed[i]
+        if failed:
+            if policy.after_retries == "drop":
+                for i in sorted(failed):
+                    self.stats.crash_dropped += 1
+                    report.dropped.append(entries[i][0])
+                keep = set(range(len(updates))) - set(failed)
+                entries = [e for i, e in enumerate(entries) if i in keep]
+                updates = [u for i, u in enumerate(updates) if i in keep]
+            else:  # accept the last recovered partial iterate
+                for i, update in failed.items():
+                    updates[i] = update
+        return updates, entries, report

@@ -11,7 +11,7 @@ from typing import List
 
 import numpy as np
 
-from .base import BatchSchedule, LocalSolver, work_batches
+from .base import BatchSchedule, LocalSolver
 from .proximal import LocalObjective
 
 
@@ -62,9 +62,8 @@ class AdamSolver(LocalSolver):
         m = np.zeros_like(w)
         v = np.zeros_like(w)
         step = 0
-        for batch in work_batches(
-            objective.n_samples, self.batch_size, epochs, rng
-        ):
+        schedule = BatchSchedule(objective.n_samples, self.batch_size, epochs)
+        for batch in schedule.batches(rng):
             step += 1
             grad = objective.gradient(w, batch)
             m = self.beta1 * m + (1 - self.beta1) * grad

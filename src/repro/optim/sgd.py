@@ -19,7 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from .base import BatchSchedule, LocalSolver, work_batches
+from .base import BatchSchedule, LocalSolver
 from .proximal import LocalObjective
 
 
@@ -51,9 +51,8 @@ class SGDSolver(LocalSolver):
         rng: np.random.Generator,
     ) -> np.ndarray:
         w = np.array(w_start, dtype=np.float64, copy=True)
-        for batch in work_batches(
-            objective.n_samples, self.batch_size, epochs, rng
-        ):
+        schedule = BatchSchedule(objective.n_samples, self.batch_size, epochs)
+        for batch in schedule.batches(rng):
             grad = objective.gradient(w, batch)
             w -= self.learning_rate * grad
         return w
@@ -103,9 +102,8 @@ class MomentumSGDSolver(LocalSolver):
     ) -> np.ndarray:
         w = np.array(w_start, dtype=np.float64, copy=True)
         velocity = np.zeros_like(w)
-        for batch in work_batches(
-            objective.n_samples, self.batch_size, epochs, rng
-        ):
+        schedule = BatchSchedule(objective.n_samples, self.batch_size, epochs)
+        for batch in schedule.batches(rng):
             grad = objective.gradient(w, batch)
             velocity = self.momentum * velocity + grad
             w -= self.learning_rate * velocity

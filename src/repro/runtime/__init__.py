@@ -35,25 +35,83 @@ from .evaluation import (
 from .executor import LocalTask, RoundExecutor, SerialExecutor, task_rng
 from .parallel import ParallelExecutor
 
-EXECUTOR_MODES = ("serial", "parallel", "cohort")
+#: The executor spec grammar: mode name -> accepted spec strings.  A spec
+#: is ``mode`` or ``mode:argument``; only ``parallel`` takes an argument
+#: (its worker count).  ``make_executor`` and the trainer's ``executor=``
+#: option accept exactly these strings.
+EXECUTOR_MODES = {
+    "serial": 'spec "serial" — in-process sequential execution (default)',
+    "parallel": (
+        'specs "parallel", "parallel:N" (N worker processes), or '
+        '"parallel:auto" (match the host core count) — persistent '
+        "multiprocess workers"
+    ),
+    "cohort": (
+        'spec "cohort" — stacked (K, d) NumPy kernels advancing all '
+        "selected clients simultaneously"
+    ),
+}
 
 
-def make_executor(mode: str, **kwargs) -> RoundExecutor:
-    """Build a round executor from its mode name.
+def parse_executor_spec(spec: str):
+    """Parse an executor spec string into ``(mode, kwargs)``.
 
-    ``kwargs`` are forwarded to the executor constructor (e.g.
-    ``n_workers`` for ``"parallel"``).  The trainer accepts these mode
+    The single place worker counts are parsed: ``"parallel:4"`` →
+    ``("parallel", {"n_workers": 4})``, ``"parallel:auto"`` →
+    ``("parallel", {"n_workers": "auto"})``.  ``serial``/``cohort`` take
+    no argument; an argument on them — or a malformed worker count — is a
+    ``ValueError``.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(f"executor spec must be a string, got {type(spec).__name__}")
+    mode, sep, argument = spec.partition(":")
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(
+            f"unknown executor mode {mode!r}; expected one of "
+            f"{tuple(EXECUTOR_MODES)}"
+        )
+    if not sep:
+        return mode, {}
+    if mode != "parallel":
+        raise ValueError(
+            f"executor mode {mode!r} takes no argument (got {spec!r}); "
+            'only "parallel:N" / "parallel:auto" are parameterized'
+        )
+    if argument == "auto":
+        return mode, {"n_workers": "auto"}
+    try:
+        n_workers = int(argument)
+    except ValueError:
+        raise ValueError(
+            f"bad worker count {argument!r} in executor spec {spec!r}; "
+            'expected "parallel:N" with integer N, or "parallel:auto"'
+        ) from None
+    if n_workers < 1:
+        raise ValueError(f"worker count must be at least 1, got {n_workers}")
+    return mode, {"n_workers": n_workers}
+
+
+def make_executor(spec: str, **kwargs) -> RoundExecutor:
+    """Build a round executor from a spec string (see :data:`EXECUTOR_MODES`).
+
+    Extra ``kwargs`` are forwarded to the executor constructor (e.g.
+    ``start_method`` for ``"parallel"``); a worker count may come from the
+    spec *or* ``n_workers=``, not both.  The trainer accepts these spec
     strings directly in its ``executor`` argument.
     """
+    mode, spec_kwargs = parse_executor_spec(spec)
+    overlap = set(spec_kwargs) & set(kwargs)
+    if overlap:
+        raise ValueError(
+            f"executor spec {spec!r} already sets {sorted(overlap)}; "
+            "pass the worker count in the spec or as a keyword, not both"
+        )
+    kwargs = {**spec_kwargs, **kwargs}
     if mode == "serial":
         return SerialExecutor(**kwargs)
     if mode == "parallel":
         return ParallelExecutor(**kwargs)
-    if mode == "cohort":
-        return CohortExecutor(**kwargs)
-    raise ValueError(
-        f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"
-    )
+    return CohortExecutor(**kwargs)
 
 
 __all__ = [
@@ -63,6 +121,7 @@ __all__ = [
     "CohortExecutor",
     "solve_cohort",
     "make_executor",
+    "parse_executor_spec",
     "EXECUTOR_MODES",
     "LocalTask",
     "task_rng",

@@ -51,7 +51,14 @@ from typing import TYPE_CHECKING, List, Sequence
 import numpy as np
 
 from ..telemetry import resolve_telemetry
-from .executor import LocalTask, RoundExecutor, task_rng, task_round
+from .executor import (
+    LocalTask,
+    RoundExecutor,
+    apply_update_fault,
+    task_effective_epochs,
+    task_rng,
+    task_round,
+)
 
 if TYPE_CHECKING:  # avoid a circular import with repro.core
     from ..core.client import Client, ClientUpdate
@@ -94,9 +101,14 @@ def solve_cohort(
 
     # Per-task batch schedules, drawn exactly as the scalar solver draws
     # them (one permutation per started epoch from the task's entropy).
+    # Crash faults truncate the executed budget here, exactly as the
+    # scalar path truncates it — a crashed client is scheduled like a
+    # straggler whose budget ends at the crash point.
     plans = [
         solver.stacked_plan(
-            clients[task.client_id].data.num_train, task.epochs, task_rng(task)
+            clients[task.client_id].data.num_train,
+            task_effective_epochs(task),
+            task_rng(task),
         )
         for task in tasks
     ]
@@ -242,10 +254,11 @@ def solve_cohort(
             client_id=task.client_id,
             w=w_local,
             num_train=client.data.num_train,
-            epochs=task.epochs,
+            epochs=task_effective_epochs(task),
             gradient_evaluations=len(plans[i]),
             gamma=gamma,
         )
+        apply_update_fault(updates[i], task)
 
     if telemetry.enabled:
         telemetry.record_span(

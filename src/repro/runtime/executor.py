@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults.models import FaultDecision
 from ..telemetry import NULL_TELEMETRY, resolve_telemetry
 from .evaluation import FederationEvaluator, resolve_eval_mode
 
@@ -54,6 +55,11 @@ if TYPE_CHECKING:  # avoid a circular import with repro.core
     from ..datasets.federated import FederatedDataset
     from ..models.base import FederatedModel
     from ..optim.base import LocalSolver
+
+# Entropy salt deriving a corruption noise stream from a task's entropy
+# tuple — disjoint from the mini-batch stream so injecting a corruption
+# fault never perturbs the batch order of the solve it corrupts.
+_CORRUPTION_SALT = 0xC0FF
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,12 @@ class LocalTask:
         :class:`~repro.core.client.ClientUpdate` (set by the trainer when
         telemetry is enabled; off by default so the disabled path does no
         extra work).
+    fault:
+        Injected fault striking this solve (see :mod:`repro.faults`), or
+        ``None`` for a healthy device.  Faults are part of the task
+        description, so their effects — a crash's truncated budget, a
+        corruption's noise stream — are pure functions of the task and
+        identical on every executor.
     """
 
     client_id: int
@@ -93,6 +105,7 @@ class LocalTask:
     measure_gamma: bool = False
     correction: Optional[np.ndarray] = None
     collect_timings: bool = False
+    fault: Optional[FaultDecision] = None
 
 
 def task_rng(task: LocalTask) -> np.random.Generator:
@@ -105,23 +118,69 @@ def task_round(task: LocalTask) -> Optional[int]:
     return int(task.rng_entropy[1]) if len(task.rng_entropy) >= 2 else None
 
 
+def task_effective_epochs(task: LocalTask) -> float:
+    """The work budget actually executed, after any injected crash.
+
+    A crash fault truncates the *executed* budget to the drawn fraction of
+    the intended epochs — the device checkpointed that much work before
+    failing.  All executors derive the budget through this helper, so a
+    crashed solve performs identical work (and consumes identical batch
+    entropy) everywhere.
+    """
+    if task.fault is not None and task.fault.kind == "crash":
+        return task.epochs * task.fault.fraction
+    return task.epochs
+
+
+def apply_update_fault(update: "ClientUpdate", task: LocalTask) -> "ClientUpdate":
+    """Stamp the task's fault onto its update and apply corruption.
+
+    Runs where the solve ran (serial in-process, inside a parallel worker,
+    or in the cohort finalize loop).  Corruption noise derives from the
+    task's entropy tuple plus a dedicated salt, so the damage is
+    bit-identical on every executor and across process boundaries.
+    """
+    fault = task.fault
+    if fault is None:
+        return update
+    update.fault = fault
+    if fault.kind == "corrupt":
+        rng = np.random.default_rng(
+            np.random.SeedSequence(list(task.rng_entropy) + [_CORRUPTION_SALT])
+        )
+        w = update.w
+        if fault.mode == "nan":
+            # Poison ~10% of coordinates (at least one) with NaNs: loud,
+            # detectable damage the quarantine guard is meant to catch.
+            k = max(1, w.size // 10)
+            w[rng.choice(w.size, size=k, replace=False)] = np.nan
+        else:  # "noise": silent damage at `scale` times the update's RMS
+            rms = float(np.sqrt(np.mean(w * w)))
+            w += fault.scale * (rms or 1.0) * rng.standard_normal(w.size)
+    return update
+
+
 def solve_with_timings(client: "Client", task: LocalTask) -> "ClientUpdate":
-    """Run one task on a client, honoring its timing-collection flag.
+    """Run one task on a client, honoring its timing and fault fields.
 
     The shared solve path for :class:`SerialExecutor` and the parallel
     workers: when ``task.collect_timings`` is set, the update's
     ``timings`` dict records the solve's wall-clock duration (pure
-    floats, so the payload pickles across the process boundary).
+    floats, so the payload pickles across the process boundary).  Injected
+    faults are honored here too — crashes truncate the executed budget,
+    corruption damages the delivered iterate — so the parallel workers
+    reproduce fault effects without server-side post-processing.
     """
     t0 = time.perf_counter() if task.collect_timings else 0.0
     update = client.local_solve(
         w_global=task.w_global,
         mu=task.mu,
-        epochs=task.epochs,
+        epochs=task_effective_epochs(task),
         rng=task_rng(task),
         correction=task.correction,
         measure_gamma=task.measure_gamma,
     )
+    apply_update_fault(update, task)
     if task.collect_timings:
         update.timings = {"solve": time.perf_counter() - t0}
     return update

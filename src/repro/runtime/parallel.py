@@ -15,6 +15,14 @@ results are returned in task order, and evaluation reduces per-client
 metrics in device order with the same reduction code as the serial path —
 so training histories are bit-identical to :class:`SerialExecutor`
 regardless of worker count.
+
+Fault injection rides the same mechanism: an injected
+:class:`~repro.faults.models.FaultDecision` is part of the
+:class:`~repro.runtime.executor.LocalTask` that crosses the process
+boundary, and the worker applies its effects (crash budget truncation,
+corruption noise) through the shared
+:func:`~repro.runtime.executor.solve_with_timings` path — so fault
+outcomes are bit-identical to in-process execution.
 """
 
 from __future__ import annotations

@@ -9,10 +9,12 @@ from .stragglers import (
     NoHeterogeneity,
     SystemsModel,
     WorkAssignment,
+    entropy_rng,
 )
 
 __all__ = [
     "SystemsModel",
+    "entropy_rng",
     "WorkAssignment",
     "NoHeterogeneity",
     "FractionStragglers",

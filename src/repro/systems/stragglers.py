@@ -26,6 +26,21 @@ from typing import List, Sequence
 import numpy as np
 
 
+def entropy_rng(*components: int) -> np.random.Generator:
+    """Generator derived from an integer entropy tuple.
+
+    The single seed-entropy pipeline shared by every environment draw in
+    the simulation: straggler budgets (:class:`FractionStragglers`), fault
+    draws (:mod:`repro.faults`), and mini-batch orders all derive their
+    randomness as ``default_rng(SeedSequence([...integers...]))``, so any
+    draw is a pure function of its ``(seed, round, client, ...)`` identity
+    — independent of executor, process, and iteration order.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([int(c) for c in components])
+    )
+
+
 @dataclass(frozen=True)
 class WorkAssignment:
     """The amount of local work one selected device can perform this round.
@@ -96,9 +111,7 @@ class FractionStragglers(SystemsModel):
         self.seed = int(seed)
 
     def _round_rng(self, round_idx: int) -> np.random.Generator:
-        return np.random.default_rng(
-            np.random.SeedSequence([self.seed, round_idx])
-        )
+        return entropy_rng(self.seed, round_idx)
 
     def assign(
         self, round_idx: int, client_ids: Sequence[int], max_epochs: float

@@ -44,6 +44,30 @@ Span taxonomy
 ``sim:round`` / ``sim:download`` / ``sim:compute`` / ``sim:upload``
     Simulated global-clock timeline spans (``clock="simulated"``,
     ``unit="cycles"``), converted via :mod:`repro.telemetry.simtime`.
+
+Fault event taxonomy
+--------------------
+The fault layer (:mod:`repro.faults`) emits its decisions as ``counter``
+metrics with value 1 the moment they happen, so fault timelines
+interleave with the spans above in the same artifact:
+
+``fault:injected``
+    The schedule struck one solve; attrs ``client_id``, ``fault``
+    (``crash``/``dropout``/``corrupt``/``stale``), ``attempt`` (0 =
+    first dispatch, ``n`` = n-th retry).
+``fault:retry``
+    The policy re-dispatched a crashed solve; attrs ``client_id``,
+    ``attempt`` (1-based), ``backoff`` (simulated seconds, never slept).
+``fault:quarantine``
+    A non-finite update was rejected; attrs ``client_id``, ``suspicion``
+    (the client's cumulative offense count).
+``round:degraded``
+    The minimum-quorum guard skipped aggregation; attrs ``survivors``,
+    ``quorum``.
+
+When injection is enabled the manifest ``config`` additionally carries
+``faults`` (the schedule's ``to_dict()``) and ``fault_policy``;
+cumulative ``faults.*`` gauges summarize the run's counters each round.
 """
 
 from __future__ import annotations

@@ -1,9 +1,10 @@
 """BatchSchedule: the consolidated mini-batch schedule API.
 
 The historical helpers (``epoch_batches`` / ``batches_per_epoch`` /
-``work_batches``) are thin wrappers over :class:`BatchSchedule`; these
-tests pin the equivalence, the public exports, and the schedule's edge
-cases (fractional budgets, minimum work, validation).
+``work_batches``) are deprecated thin wrappers over
+:class:`BatchSchedule`; these tests pin the equivalence, the deprecation
+warnings, the public exports, and the schedule's edge cases (fractional
+budgets, minimum work, validation).
 """
 
 from __future__ import annotations
@@ -86,21 +87,24 @@ class TestBatchScheduleProperties:
 
 
 class TestLegacyHelpersDelegate:
-    """Same rng -> identical batch streams through old and new APIs."""
+    """Deprecated wrappers: warn, but still delegate batch-for-batch."""
 
     def test_epoch_batches(self):
-        legacy = epoch_batches(13, 5, _rng())
+        with pytest.warns(DeprecationWarning, match="epoch_batches"):
+            legacy = epoch_batches(13, 5, _rng())
         unified = BatchSchedule(13, 5).one_epoch(_rng())
         for a, b in zip(legacy, unified):
             np.testing.assert_array_equal(a, b)
 
     def test_batches_per_epoch(self):
         for n, bs in [(13, 5), (10, 10), (3, 7)]:
-            assert batches_per_epoch(n, bs) == BatchSchedule(n, bs).per_epoch
+            with pytest.warns(DeprecationWarning, match="batches_per_epoch"):
+                assert batches_per_epoch(n, bs) == BatchSchedule(n, bs).per_epoch
 
     @pytest.mark.parametrize("epochs", [0.4, 1.0, 2.5])
     def test_work_batches(self, epochs):
-        legacy = list(work_batches(13, 5, epochs, _rng()))
+        with pytest.warns(DeprecationWarning, match="work_batches"):
+            legacy = list(work_batches(13, 5, epochs, _rng()))
         unified = BatchSchedule(13, 5, epochs).materialize(_rng())
         assert len(legacy) == len(unified)
         for a, b in zip(legacy, unified):

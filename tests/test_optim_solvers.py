@@ -6,13 +6,12 @@ import pytest
 from repro.models import MultinomialLogisticRegression
 from repro.optim import (
     AdamSolver,
+    BatchSchedule,
     GDSolver,
     LocalObjective,
     MomentumSGDSolver,
     SGDSolver,
-    epoch_batches,
 )
-from repro.optim.base import batches_per_epoch, work_batches
 
 
 def _objective(mu=0.0, w_ref=None, n=30, dim=4, classes=3, seed=0):
@@ -25,37 +24,37 @@ def _objective(mu=0.0, w_ref=None, n=30, dim=4, classes=3, seed=0):
 
 class TestBatchPlans:
     def test_epoch_batches_cover_all_indices(self, rng):
-        batches = epoch_batches(25, 10, rng)
+        batches = BatchSchedule(25, 10).one_epoch(rng)
         seen = np.concatenate(batches)
         assert sorted(seen) == list(range(25))
 
     def test_epoch_batches_final_partial_kept(self, rng):
-        batches = epoch_batches(25, 10, rng)
+        batches = BatchSchedule(25, 10).one_epoch(rng)
         assert [len(b) for b in batches] == [10, 10, 5]
 
     def test_epoch_batches_large_batch_single(self, rng):
-        batches = epoch_batches(5, 100, rng)
+        batches = BatchSchedule(5, 100).one_epoch(rng)
         assert len(batches) == 1 and len(batches[0]) == 5
 
     @pytest.mark.parametrize("n,bs,expected", [(25, 10, 3), (30, 10, 3), (5, 100, 1), (10, 1, 10)])
     def test_batches_per_epoch(self, n, bs, expected):
-        assert batches_per_epoch(n, bs) == expected
+        assert BatchSchedule(n, bs).per_epoch == expected
 
     @pytest.mark.parametrize("epochs,expected", [(1, 3), (2, 6), (0.5, 2), (1.5, 4)])
     def test_work_batches_count(self, rng, epochs, expected):
-        batches = list(work_batches(25, 10, epochs, rng))
+        batches = list(BatchSchedule(25, 10, epochs).batches(rng))
         assert len(batches) == expected
 
     def test_work_batches_minimum_one(self, rng):
-        assert len(list(work_batches(25, 10, 0.01, rng))) == 1
+        assert len(list(BatchSchedule(25, 10, 0.01).batches(rng))) == 1
 
     def test_work_batches_rejects_negative(self, rng):
         with pytest.raises(ValueError):
-            list(work_batches(10, 5, -1, rng))
+            BatchSchedule(10, 5, -1)
 
     def test_work_batches_deterministic_given_rng(self):
-        a = list(work_batches(20, 7, 2, np.random.default_rng(5)))
-        b = list(work_batches(20, 7, 2, np.random.default_rng(5)))
+        a = list(BatchSchedule(20, 7, 2).batches(np.random.default_rng(5)))
+        b = list(BatchSchedule(20, 7, 2).batches(np.random.default_rng(5)))
         for x, y in zip(a, b):
             np.testing.assert_array_equal(x, y)
 

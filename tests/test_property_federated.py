@@ -14,7 +14,7 @@ from repro.core import (
 from repro.datasets import FederatedDataset
 from repro.models import MultinomialLogisticRegression
 from repro.optim import LocalObjective
-from repro.optim.base import batches_per_epoch, work_batches
+from repro.optim.base import BatchSchedule
 
 from tests.conftest import make_toy_client
 
@@ -117,8 +117,9 @@ class TestWorkBatchesProperties:
     )
     def test_batch_count_and_coverage(self, n, bs, epochs, seed):
         gen = np.random.default_rng(seed)
-        batches = list(work_batches(n, bs, epochs, gen))
-        per_epoch = batches_per_epoch(n, bs)
+        schedule = BatchSchedule(n, bs, epochs)
+        batches = list(schedule.batches(gen))
+        per_epoch = schedule.per_epoch
         expected = max(1, round(epochs * per_epoch))
         assert len(batches) == expected
         for b in batches:
@@ -129,7 +130,7 @@ class TestWorkBatchesProperties:
     @given(n=st.integers(2, 100), bs=st.integers(1, 30), seed=st.integers(0, 50))
     def test_full_epoch_covers_every_sample(self, n, bs, seed):
         gen = np.random.default_rng(seed)
-        batches = list(work_batches(n, bs, 1.0, gen))
+        batches = list(BatchSchedule(n, bs, 1.0).batches(gen))
         seen = np.concatenate(batches)
         assert sorted(seen.tolist()) == list(range(n))
 

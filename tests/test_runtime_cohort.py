@@ -238,14 +238,33 @@ class TestExecutorModeDispatch:
             SerialExecutor as SE,
         )
 
-        assert EXECUTOR_MODES == ("serial", "parallel", "cohort")
+        assert tuple(EXECUTOR_MODES) == ("serial", "parallel", "cohort")
+        assert all(isinstance(doc, str) for doc in EXECUTOR_MODES.values())
         assert isinstance(make_executor("serial"), SE)
         assert isinstance(make_executor("parallel", n_workers=1), PE)
         assert isinstance(make_executor("cohort"), CE)
 
-    def test_make_executor_unknown_mode(self):
-        with pytest.raises(ValueError, match="unknown executor mode"):
-            make_executor("banana")
+    def test_make_executor_spec_grammar(self):
+        from repro.runtime import parse_executor_spec
+
+        executor = make_executor("parallel:3")
+        assert executor.n_workers == 3
+        assert parse_executor_spec("parallel:auto") == (
+            "parallel",
+            {"n_workers": "auto"},
+        )
+        assert parse_executor_spec("serial") == ("serial", {})
+
+    @pytest.mark.parametrize(
+        "spec", ["banana", "serial:2", "cohort:auto", "parallel:zero", "parallel:0"]
+    )
+    def test_make_executor_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            make_executor(spec)
+
+    def test_make_executor_rejects_conflicting_worker_counts(self):
+        with pytest.raises(ValueError, match="not both"):
+            make_executor("parallel:2", n_workers=3)
 
 
 class TestStackedGradientKernels:
