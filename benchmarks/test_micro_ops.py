@@ -8,10 +8,11 @@ normal repeated timing (unlike the run-once figure benchmarks).
 """
 
 import numpy as np
+import pytest
 
 from repro.core import UniformSamplingWeightedAverage
 from repro.datasets import make_synthetic
-from repro.models import CharLSTM, MultinomialLogisticRegression
+from repro.models import LSTM_BACKENDS, CharLSTM, MultinomialLogisticRegression
 from repro.optim import LocalObjective, SGDSolver
 
 
@@ -23,12 +24,30 @@ def test_logistic_gradient_batch(benchmark):
     benchmark(model.loss_and_gradient, X, y)
 
 
-def test_lstm_training_step(benchmark):
+@pytest.mark.parametrize("backend", LSTM_BACKENDS)
+def test_lstm_training_step(benchmark, backend):
+    """One loss+gradient at paper-ish shape: fused kernels vs graph mode."""
     rng = np.random.default_rng(0)
-    model = CharLSTM(vocab_size=80, embed_dim=8, hidden=32, num_layers=2, seed=0)
+    model = CharLSTM(
+        vocab_size=80, embed_dim=8, hidden=32, num_layers=2, seed=0, backend=backend
+    )
     X = rng.integers(80, size=(10, 10))
     y = rng.integers(80, size=10)
+    model.loss_and_gradient(X, y)  # allocate the fused workspace up front
     benchmark(model.loss_and_gradient, X, y)
+
+
+@pytest.mark.parametrize("backend", LSTM_BACKENDS)
+def test_lstm_forward_step(benchmark, backend):
+    """Forward-only cost (the stacked-evaluation inner loop)."""
+    rng = np.random.default_rng(0)
+    model = CharLSTM(
+        vocab_size=80, embed_dim=8, hidden=32, num_layers=2, seed=0, backend=backend
+    )
+    X = rng.integers(80, size=(64, 10))
+    y = rng.integers(80, size=64)
+    model.loss(X, y)
+    benchmark(model.loss, X, y)
 
 
 def test_local_sgd_solve_one_epoch(benchmark):

@@ -35,7 +35,9 @@ from .ops import (
     transpose,
 )
 from .functional import (
+    FusedLSTMWorkspace,
     binary_cross_entropy_with_logits,
+    fused_lstm,
     l2_norm_squared,
     mse_loss,
     softmax_cross_entropy,
@@ -75,6 +77,8 @@ __all__ = [
     "binary_cross_entropy_with_logits",
     "mse_loss",
     "l2_norm_squared",
+    "fused_lstm",
+    "FusedLSTMWorkspace",
     "check_gradients",
     "numeric_gradient",
 ]

@@ -7,7 +7,13 @@
 * :class:`SentimentLSTM` — Sent140-style binary sentiment classification.
 """
 
-from .base import FederatedModel, ModelFactory, NeuralModel
+from .base import (
+    LSTM_BACKENDS,
+    SEQ_EVAL_BLOCK_ROWS,
+    FederatedModel,
+    ModelFactory,
+    NeuralModel,
+)
 from .charlstm import CharLSTM
 from .logistic import MultinomialLogisticRegression
 from .mlp import MLPClassifier
@@ -17,6 +23,8 @@ __all__ = [
     "FederatedModel",
     "NeuralModel",
     "ModelFactory",
+    "LSTM_BACKENDS",
+    "SEQ_EVAL_BLOCK_ROWS",
     "MultinomialLogisticRegression",
     "MLPClassifier",
     "CharLSTM",

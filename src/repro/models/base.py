@@ -22,6 +22,19 @@ import numpy as np
 from ..autograd import Tensor
 from ..nn.module import Module
 
+#: Execution backends offered by the LSTM models: ``"fused"`` runs the
+#: hand-derived kernels (:func:`repro.autograd.fused_lstm`), ``"graph"``
+#: the per-timestep autograd graph kept as the correctness oracle.
+LSTM_BACKENDS = ("fused", "graph")
+
+#: Rows per stacked-evaluation block for sequence models.  Each row of a
+#: sequence batch carries ``time x 4*hidden`` of activation tape through
+#: the fused forward, so the flat-model default
+#: (:data:`repro.runtime.evaluation.STACKED_EVAL_BLOCK`) would allocate
+#: hundreds of MB at paper scale; 256 rows keeps the tape tens of MB while
+#: still amortizing dispatch.
+SEQ_EVAL_BLOCK_ROWS = 256
+
 
 class FederatedModel(abc.ABC):
     """Loss/gradient oracle over a flat parameter vector.
@@ -79,6 +92,33 @@ class FederatedModel(abc.ABC):
         enabled when this holds.
         """
         return False
+
+    @property
+    def stacked_eval_block_rows(self) -> Optional[int]:
+        """Preferred rows per fused forward pass in stacked evaluation.
+
+        ``None`` defers to the evaluator's global default
+        (:data:`repro.runtime.evaluation.STACKED_EVAL_BLOCK`, tuned for
+        flat feature rows).  Sequence models override with a smaller
+        number: their forward temporaries scale with ``time x hidden``
+        per row, so the flat-model block size would blow past cache (and,
+        for the fused LSTM, balloon the activation tape).
+        """
+        return None
+
+    def fast_path_capabilities(self) -> dict:
+        """Which runtime fast paths this model unlocks, as one flat dict.
+
+        The runtime gates each fast path on the individual properties; this
+        summary exists for benchmarks and diagnostics (it is recorded in
+        ``BENCH_models.json`` so a perf regression can be correlated with a
+        capability change).
+        """
+        return {
+            "stacked_eval": bool(self.supports_stacked_eval),
+            "stacked_local_solve": bool(self.supports_stacked_local_solve),
+            "eval_block_rows": self.stacked_eval_block_rows,
+        }
 
     @property
     def supports_stacked_local_solve(self) -> bool:

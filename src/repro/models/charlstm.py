@@ -13,9 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, softmax_cross_entropy
-from ..nn import LSTM, Dense, Embedding
+from ..nn import LSTM, Dense, Embedding, FusedLSTM
 from ..nn.module import Module
-from .base import NeuralModel
+from .base import LSTM_BACKENDS, SEQ_EVAL_BLOCK_ROWS, NeuralModel
 
 
 class _CharLSTMModule(Module):
@@ -28,10 +28,12 @@ class _CharLSTMModule(Module):
         hidden: int,
         num_layers: int,
         rng: np.random.Generator,
+        backend: str = "fused",
     ) -> None:
         super().__init__()
+        lstm_cls = FusedLSTM if backend == "fused" else LSTM
         self.embedding = Embedding(vocab_size, embed_dim, rng)
-        self.lstm = LSTM(embed_dim, hidden, num_layers, rng)
+        self.lstm = lstm_cls(embed_dim, hidden, num_layers, rng)
         self.head = Dense(hidden, vocab_size, rng)
 
     def forward(self, token_ids: np.ndarray) -> Tensor:
@@ -58,6 +60,12 @@ class CharLSTM(NeuralModel):
         Number of stacked LSTM layers (2 in the paper).
     seed:
         Weight-initialization seed.
+    backend:
+        ``"fused"`` (default) runs the unroll through the hand-derived
+        :func:`repro.autograd.fused_lstm` kernels; ``"graph"`` keeps the
+        per-timestep autograd graph (the gradcheck reference).  Both
+        backends share initialization and the flat parameter layout, and
+        agree to floating-point rounding.
     """
 
     def __init__(
@@ -67,17 +75,36 @@ class CharLSTM(NeuralModel):
         hidden: int = 100,
         num_layers: int = 2,
         seed: int = 0,
+        backend: str = "fused",
     ) -> None:
+        if backend not in LSTM_BACKENDS:
+            raise ValueError(f"backend must be one of {LSTM_BACKENDS}, got {backend!r}")
         self.vocab_size = vocab_size
         self.embed_dim = embed_dim
         self.hidden = hidden
         self.num_layers = num_layers
+        self.backend = backend
         super().__init__(seed=seed)
 
     def build(self, rng: np.random.Generator) -> Module:
         return _CharLSTMModule(
-            self.vocab_size, self.embed_dim, self.hidden, self.num_layers, rng
+            self.vocab_size,
+            self.embed_dim,
+            self.hidden,
+            self.num_layers,
+            rng,
+            backend=self.backend,
         )
+
+    @property
+    def supports_stacked_eval(self) -> bool:
+        """Mean softmax NLL stacks exactly across client batches."""
+        return True
+
+    @property
+    def stacked_eval_block_rows(self) -> int:
+        """Sequence-aware block: activations scale with ``time x hidden``."""
+        return SEQ_EVAL_BLOCK_ROWS
 
     def forward_loss(self, X: np.ndarray, y: np.ndarray) -> Tensor:
         logits = self.module(np.asarray(X))
@@ -93,4 +120,5 @@ class CharLSTM(NeuralModel):
             "hidden": self.hidden,
             "num_layers": self.num_layers,
             "seed": self.seed,
+            "backend": self.backend,
         }

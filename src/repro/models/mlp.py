@@ -53,6 +53,11 @@ class MLPClassifier(NeuralModel):
         return self.forward_logits(X).data.argmax(axis=1)
 
     @property
+    def supports_stacked_eval(self) -> bool:
+        """Mean softmax NLL stacks exactly across client batches."""
+        return True
+
+    @property
     def supports_stacked_local_solve(self) -> bool:
         """The two-layer backward pass is written out by hand below."""
         return True

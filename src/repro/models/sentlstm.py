@@ -12,9 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, binary_cross_entropy_with_logits
-from ..nn import LSTM, Dense, Embedding
+from ..nn import LSTM, Dense, Embedding, FusedLSTM
 from ..nn.module import Module
-from .base import NeuralModel
+from .base import LSTM_BACKENDS, SEQ_EVAL_BLOCK_ROWS, NeuralModel
 
 
 class _SentLSTMModule(Module):
@@ -28,10 +28,12 @@ class _SentLSTMModule(Module):
         num_layers: int,
         trainable_embedding: bool,
         rng: np.random.Generator,
+        backend: str = "fused",
     ) -> None:
         super().__init__()
+        lstm_cls = FusedLSTM if backend == "fused" else LSTM
         self.embedding = Embedding(vocab_size, embed_dim, rng, trainable=trainable_embedding)
-        self.lstm = LSTM(embed_dim, hidden, num_layers, rng)
+        self.lstm = lstm_cls(embed_dim, hidden, num_layers, rng)
         self.head = Dense(hidden, 1, rng)
 
     def forward(self, token_ids: np.ndarray) -> Tensor:
@@ -61,6 +63,10 @@ class SentimentLSTM(NeuralModel):
         vectors.
     seed:
         Weight-initialization seed.
+    backend:
+        ``"fused"`` (default) for the hand-derived LSTM kernels,
+        ``"graph"`` for the per-timestep autograd reference (see
+        :class:`~repro.models.charlstm.CharLSTM`).
     """
 
     def __init__(
@@ -71,12 +77,16 @@ class SentimentLSTM(NeuralModel):
         num_layers: int = 2,
         trainable_embedding: bool = False,
         seed: int = 0,
+        backend: str = "fused",
     ) -> None:
+        if backend not in LSTM_BACKENDS:
+            raise ValueError(f"backend must be one of {LSTM_BACKENDS}, got {backend!r}")
         self.vocab_size = vocab_size
         self.embed_dim = embed_dim
         self.hidden = hidden
         self.num_layers = num_layers
         self.trainable_embedding = trainable_embedding
+        self.backend = backend
         super().__init__(seed=seed)
 
     def build(self, rng: np.random.Generator) -> Module:
@@ -87,7 +97,18 @@ class SentimentLSTM(NeuralModel):
             self.num_layers,
             self.trainable_embedding,
             rng,
+            backend=self.backend,
         )
+
+    @property
+    def supports_stacked_eval(self) -> bool:
+        """Mean BCE-with-logits stacks exactly across client batches."""
+        return True
+
+    @property
+    def stacked_eval_block_rows(self) -> int:
+        """Sequence-aware block: activations scale with ``time x hidden``."""
+        return SEQ_EVAL_BLOCK_ROWS
 
     def forward_loss(self, X: np.ndarray, y: np.ndarray) -> Tensor:
         logits = self.module(np.asarray(X))
@@ -106,4 +127,5 @@ class SentimentLSTM(NeuralModel):
             "num_layers": self.num_layers,
             "trainable_embedding": self.trainable_embedding,
             "seed": self.seed,
+            "backend": self.backend,
         }

@@ -4,6 +4,15 @@ The paper's non-convex workloads are LSTM classifiers (Shakespeare next-char
 prediction, Sent140 sentiment).  These are implemented here on top of the
 autograd engine with standard formulations; the unrolled wrappers return the
 full hidden-state sequence or just the final state.
+
+Two executions of the same architecture exist:
+
+* :class:`LSTM` — graph mode, one autograd node per op per timestep.  Slow
+  but trivially auditable; this is the gradcheck reference.
+* :class:`FusedLSTM` — identical parameters and initialization, but the
+  unroll runs through :func:`repro.autograd.fused_lstm` (hand-derived
+  forward/backward over a reusable activation tape).  Drop-in replacement:
+  same flat parameter layout, same results to floating-point rounding.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, ops
+from ..autograd import FusedLSTMWorkspace, Tensor, fused_lstm, ops
 from . import init
 from .module import Module, ModuleList
 
@@ -143,3 +152,42 @@ class LSTM(Module):
         if return_sequence:
             return ops.stack(outputs, axis=1)
         return outputs[-1]
+
+
+class FusedLSTM(LSTM):
+    """Drop-in :class:`LSTM` running the fused forward/backward kernels.
+
+    Parameters, initialization, and the flat parameter layout are exactly
+    those of :class:`LSTM` (the cells are built by the parent constructor
+    from the same ``rng`` draws), so model state transfers between the two
+    backends through ``get_flat`` / ``set_flat`` without translation.  Only
+    :meth:`forward` differs: the whole unroll executes as one
+    :func:`repro.autograd.fused_lstm` graph node over this module's
+    persistent :class:`~repro.autograd.FusedLSTMWorkspace`, which reuses
+    its activation tape across minibatches and local epochs.
+
+    The workspace makes the usual tape assumption: a forward's backward
+    pass must run before the next forward through this module (the
+    train-step pattern everywhere in this codebase).  Violations raise
+    instead of corrupting gradients.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(input_size, hidden_size, num_layers, rng)
+        self._workspace = FusedLSTMWorkspace()
+
+    def forward(self, x: Tensor, return_sequence: bool = False) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got {x.shape}")
+        return fused_lstm(
+            x,
+            [(cell.w_x, cell.w_h, cell.bias) for cell in self.cells],
+            workspace=self._workspace,
+            return_sequence=return_sequence,
+        )

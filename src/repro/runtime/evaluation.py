@@ -98,8 +98,11 @@ class FederationEvaluator:
     label:
         Federation display name, used in the no-test-samples error.
     block_size:
-        Rows per fused forward pass in stacked mode (see
-        :data:`STACKED_EVAL_BLOCK`).
+        Rows per fused forward pass in stacked mode.  ``None`` (default)
+        resolves to the model's ``stacked_eval_block_rows`` hint when it
+        provides one (sequence models ask for smaller blocks — their
+        forward temporaries scale with ``time x hidden`` per row) and to
+        :data:`STACKED_EVAL_BLOCK` otherwise.
     telemetry:
         When enabled, each oracle call emits an ``eval:train_loss`` /
         ``eval:test_accuracy`` span with the evaluation mode and row
@@ -112,12 +115,16 @@ class FederationEvaluator:
         model: "FederatedModel",
         eval_mode: str = "per_client",
         label: str = "",
-        block_size: int = STACKED_EVAL_BLOCK,
+        block_size: Optional[int] = None,
         telemetry=None,
     ) -> None:
         if eval_mode not in ("per_client", "stacked"):
             raise ValueError(
                 f"eval_mode must be 'per_client' or 'stacked', got {eval_mode!r}"
+            )
+        if block_size is None:
+            block_size = (
+                getattr(model, "stacked_eval_block_rows", None) or STACKED_EVAL_BLOCK
             )
         if block_size < 1:
             raise ValueError("block_size must be positive")
