@@ -31,10 +31,12 @@ the parallel numbers are overhead-bound (the speedup there comes from the
 evaluation fast path alone), while the cohort numbers reflect the stacked
 local solve.
 
-Writes ``BENCH_runtime.json`` with rounds/sec per configuration and each
-mode's speedup over ``serial-legacy`` and ``serial-fast``, plus the
-measured ``NullTelemetry`` overhead fraction (asserted < 2% of round wall
-time in ``--smoke`` mode — disabled telemetry must stay near-free).
+Writes ``BENCH_runtime.json`` with rounds/sec per configuration, each
+mode's speedup over ``serial-legacy`` and ``serial-fast``, the mode's
+resident-set size after its timed rounds (``rss_mb``) and the process
+peak (``peak_rss_mb``), plus the measured ``NullTelemetry`` overhead
+fraction (asserted < 2% of round wall time in ``--smoke`` mode — disabled
+telemetry must stay near-free).
 
 Usage::
 
@@ -70,6 +72,8 @@ from repro.telemetry import (  # noqa: E402
     InMemorySink,
     JSONLSink,
     Telemetry,
+    current_rss_bytes,
+    peak_rss_bytes,
 )
 
 MODES = ("serial-legacy", "serial-fast", "parallel", "cohort")
@@ -143,10 +147,14 @@ def time_rounds(trainer: FederatedTrainer, rounds: int, sink: InMemorySink) -> d
             if e["round"] is not None and e["round"] >= 1
         )
 
+    rss = current_rss_bytes()
+    peak = peak_rss_bytes()
     return {
         "seconds": elapsed,
         "solve_seconds": phase_sum("phase:local_solve"),
         "eval_seconds": phase_sum("phase:evaluate"),
+        "rss_mb": round(rss / 2**20, 1) if rss is not None else None,
+        "peak_rss_mb": round(peak / 2**20, 1) if peak is not None else None,
     }
 
 
@@ -219,13 +227,16 @@ def run_benchmark(
                     "solve_seconds": round(solve_elapsed, 4),
                     "solve_rounds_per_sec": round(solve_rounds_per_sec, 3),
                     "eval_seconds": round(timing["eval_seconds"], 4),
+                    "rss_mb": timing["rss_mb"],
+                    "peak_rss_mb": timing["peak_rss_mb"],
                     "telemetry_events": len(sink.events),
                 }
             )
             print(
                 f"devices={num_devices:5d}  {mode:14s}  "
                 f"{rounds_per_sec:8.2f} rounds/s  "
-                f"(solve-only {solve_rounds_per_sec:8.2f})  ({elapsed:.3f}s)"
+                f"(solve-only {solve_rounds_per_sec:8.2f})  ({elapsed:.3f}s)  "
+                f"rss={timing['rss_mb']}MB peak={timing['peak_rss_mb']}MB"
             )
         legacy = per_mode["serial-legacy"]
         fast = per_mode["serial-fast"]
@@ -281,6 +292,15 @@ def run_benchmark(
                 "apples-to-apples; null_telemetry_overhead projects the "
                 "cost of the default disabled path."
             ),
+            "memory": (
+                "rss_mb is the process's resident set right after the "
+                "mode's timed rounds; peak_rss_mb is the process-lifetime "
+                "peak (ru_maxrss), which is monotone across modes run in "
+                "the same process — compare rss_mb between modes, and "
+                "read peak_rss_mb as the run's high-water mark. "
+                "scripts/bench_scale.py isolates each point in its own "
+                "subprocess for clean per-configuration peaks."
+            ),
         },
         "results": results,
     }
@@ -297,6 +317,9 @@ def check_smoke(payload: dict) -> None:
         assert row["telemetry_events"] > 0, row
         assert "speedup_vs_serial" in row and "speedup_vs_serial_fast" in row
         assert "solve_speedup_vs_serial_fast" in row
+        assert "rss_mb" in row and "peak_rss_mb" in row
+        if row["peak_rss_mb"] is not None:
+            assert row["peak_rss_mb"] > 0, row
     assert payload["cpu_count"] >= 1
     overhead = payload["null_telemetry_overhead"]["overhead_fraction"]
     assert overhead < 0.02, (

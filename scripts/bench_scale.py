@@ -1,0 +1,330 @@
+#!/usr/bin/env python
+"""Benchmark the million-device scaling frontier: lazy stores + sampled eval.
+
+Trains FedProx on the on-demand ``Synthetic-OD(1, 1)`` federation
+(:func:`repro.datasets.make_synthetic_ondemand` — every device is
+regenerated deterministically from seed entropy on access) across
+federation sizes 10^3 → 10^6, with size-stratified sampled evaluation
+(:class:`repro.runtime.sampled.SampledEvaluator`).  For the small sizes an
+*eager* baseline — the same devices fully materialized up front, evaluated
+exhaustively — is measured alongside, which is exactly the pre-store
+behavior and its memory/evaluation wall.
+
+Each measurement point runs in its **own subprocess**: ``ru_maxrss`` is
+monotone over a process lifetime, so per-point peaks are only meaningful
+when each configuration gets a fresh process.  The driver collects the
+per-point JSON rows and writes ``BENCH_scale.json``.
+
+What the committed numbers demonstrate (the acceptance frontier):
+
+* 10^5+ synthetic devices *train* with sampled evaluation at bounded
+  memory — peak RSS grows with the active cohort and the evaluation
+  sample, not the federation size.
+* The evaluate-phase span stays **under 50% of round time** at 10^4+
+  devices under sampled evaluation, where exhaustive evaluation is
+  evaluation-dominated at 10^3 already.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_scale.py             # full sweep
+    PYTHONPATH=src python scripts/bench_scale.py --smoke     # CI assert-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.telemetry import (  # noqa: E402
+    InMemorySink,
+    Telemetry,
+    current_rss_bytes,
+    peak_rss_bytes,
+)
+
+#: Smoke-mode peak-RSS budget for 10^4 on-demand devices with sampled
+#: evaluation.  An eager 10^4-device federation alone holds ~1 GB of
+#: client arrays; the lazy + sampled configuration must stay far below it.
+SMOKE_RSS_BUDGET_MB = 500.0
+
+#: Maximum evaluate-phase fraction of round time at 10^4+ devices under
+#: sampled evaluation (the acceptance criterion this benchmark records).
+EVAL_FRACTION_BUDGET = 0.5
+
+
+def measure_point(
+    devices: int,
+    store: str,
+    rounds: int,
+    epochs: float,
+    sample_size: int,
+    strata: int,
+    seed: int = 0,
+) -> dict:
+    """Train one configuration in-process and return its metrics row.
+
+    Runs one warmup round (pool/cache/stacked-workspace warming) outside
+    the clock, then times ``rounds`` rounds; phase splits come from the
+    trainer's telemetry spans, never ad-hoc timers.
+    """
+    from repro.core import FederatedTrainer
+    from repro.datasets import make_synthetic_ondemand
+    from repro.datasets.federated import FederatedDataset
+    from repro.models import MultinomialLogisticRegression
+    from repro.optim import SGDSolver
+
+    t_build = time.perf_counter()
+    dataset = make_synthetic_ondemand(1.0, 1.0, num_devices=devices, seed=seed)
+    if store == "eager":
+        # The same devices, fully materialized up front — the pre-store
+        # memory behavior, kept comparable by reusing the lazy generator.
+        dataset = FederatedDataset(
+            dataset.name,
+            clients=list(dataset),
+            num_classes=dataset.num_classes,
+            input_dim=dataset.input_dim,
+        )
+    build_seconds = time.perf_counter() - t_build
+
+    sink = InMemorySink()
+    eval_kwargs = (
+        {"eval": "sampled", "eval_sample_size": sample_size,
+         "eval_strata": strata}
+        if store == "ondemand"
+        else {"eval": "full"}
+    )
+    trainer = FederatedTrainer(
+        dataset=dataset,
+        model=MultinomialLogisticRegression(dim=60, num_classes=10),
+        solver=SGDSolver(0.01, batch_size=10),
+        mu=1.0,
+        clients_per_round=10,
+        epochs=epochs,
+        seed=seed,
+        telemetry=Telemetry([sink]),
+        label=f"scale-{store}-{devices}",
+        **eval_kwargs,
+    )
+    try:
+        trainer.run_round()  # warmup, excluded from the clock
+        t0 = time.perf_counter()
+        history = trainer.run(rounds)
+        elapsed = time.perf_counter() - t0
+    finally:
+        trainer.close()
+
+    def phase_sum(name: str) -> float:
+        return sum(
+            e["duration"]
+            for e in sink.spans(name)
+            if e["round"] is not None and e["round"] >= 1
+        )
+
+    round_seconds = phase_sum("round")
+    eval_seconds = phase_sum("phase:evaluate")
+    last = history.records[-1]
+    rss = current_rss_bytes()
+    peak = peak_rss_bytes()
+    cache = getattr(dataset.store, "cache_info", lambda: None)()
+    return {
+        "devices": devices,
+        "store": store,
+        "eval": eval_kwargs["eval"],
+        "rounds": rounds,
+        "local_epochs": epochs,
+        "build_seconds": round(build_seconds, 4),
+        "seconds": round(elapsed, 4),
+        "rounds_per_sec": round(rounds / elapsed, 4),
+        "solve_seconds": round(phase_sum("phase:local_solve"), 4),
+        "eval_seconds": round(eval_seconds, 4),
+        "eval_fraction": round(
+            eval_seconds / round_seconds if round_seconds else 0.0, 4
+        ),
+        "eval_sample_size": last.eval_sample_size,
+        "train_loss": last.train_loss,
+        "train_loss_ci": last.train_loss_ci,
+        "rss_mb": round(rss / 2**20, 1) if rss is not None else None,
+        "peak_rss_mb": round(peak / 2**20, 1) if peak is not None else None,
+        "store_cache": cache,
+    }
+
+
+def run_point_subprocess(args: argparse.Namespace, devices: int, store: str) -> dict:
+    """Run one measurement point in a fresh subprocess (clean peak RSS)."""
+    cmd = [
+        sys.executable, os.path.abspath(__file__),
+        "--point", str(devices),
+        "--store", store,
+        "--rounds", str(args.rounds),
+        "--epochs", str(args.epochs),
+        "--sample-size", str(args.sample_size),
+        "--strata", str(args.strata),
+    ]
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, check=False
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"point devices={devices} store={store} failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def check_frontier(rows: List[dict]) -> None:
+    """Assert the acceptance frontier on a payload's rows."""
+    sampled = [r for r in rows if r["store"] == "ondemand"]
+    assert sampled, "no on-demand sampled rows measured"
+    for row in sampled:
+        assert row["rounds_per_sec"] > 0, row
+        if row["devices"] >= 10_000:
+            assert row["eval_fraction"] < EVAL_FRACTION_BUDGET, (
+                f"sampled evaluation at {row['devices']} devices spends "
+                f"{100 * row['eval_fraction']:.1f}% of round time evaluating "
+                f"(budget {100 * EVAL_FRACTION_BUDGET:.0f}%)"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--devices", type=int, nargs="+",
+        default=[1_000, 10_000, 100_000, 1_000_000],
+        help="federation sizes to measure (on-demand store + sampled eval)",
+    )
+    parser.add_argument(
+        "--eager-max", type=int, default=10_000,
+        help="also measure the eager + full-eval baseline up to this size",
+    )
+    parser.add_argument("--rounds", type=int, default=3, help="timed rounds")
+    parser.add_argument(
+        "--epochs", type=float, default=20.0,
+        help="local epochs E per round (paper default: 20)",
+    )
+    parser.add_argument(
+        "--sample-size", type=int, default=100,
+        help="devices evaluated per round under sampled evaluation",
+    )
+    parser.add_argument(
+        "--strata", type=int, default=10, help="size strata for the sampler"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke: one 10^4-device point, assert bounded RSS and the "
+        "eval-fraction budget, write no JSON",
+    )
+    parser.add_argument(
+        "--point", type=int, default=None, metavar="DEVICES",
+        help="internal: measure one point in-process, print its JSON row",
+    )
+    parser.add_argument(
+        "--store", choices=("ondemand", "eager"), default="ondemand",
+        help="internal (with --point): which store to measure",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_scale.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.point is not None:
+        row = measure_point(
+            args.point, args.store, args.rounds, args.epochs,
+            args.sample_size, args.strata,
+        )
+        print(json.dumps(row))
+        return 0
+
+    if args.smoke:
+        # Keep the paper's E = 20 — the eval-fraction budget is a claim
+        # about the real workload mix, and shrinking the solve phase
+        # artificially inflates the evaluation share.
+        args.devices = [10_000]
+        args.eager_max = 0
+        args.rounds = 3
+
+    rows = []
+    for devices in args.devices:
+        if devices <= args.eager_max:
+            row = run_point_subprocess(args, devices, "eager")
+            rows.append(row)
+            print(
+                f"devices={devices:8d}  eager/full      "
+                f"{row['rounds_per_sec']:8.3f} rounds/s  "
+                f"eval {100 * row['eval_fraction']:5.1f}%  "
+                f"peak={row['peak_rss_mb']}MB"
+            )
+        row = run_point_subprocess(args, devices, "ondemand")
+        rows.append(row)
+        print(
+            f"devices={devices:8d}  ondemand/sampled "
+            f"{row['rounds_per_sec']:7.3f} rounds/s  "
+            f"eval {100 * row['eval_fraction']:5.1f}%  "
+            f"peak={row['peak_rss_mb']}MB"
+        )
+
+    check_frontier(rows)
+
+    if args.smoke:
+        row = rows[-1]
+        peak = row["peak_rss_mb"]
+        assert peak is None or peak < SMOKE_RSS_BUDGET_MB, (
+            f"10^4-device lazy + sampled run peaked at {peak} MB "
+            f"(budget {SMOKE_RSS_BUDGET_MB} MB) — the store is not lazy"
+        )
+        print(
+            "smoke OK: 10^4 on-demand devices trained with sampled eval at "
+            f"peak {peak} MB, eval fraction "
+            f"{100 * row['eval_fraction']:.1f}%"
+        )
+        return 0
+
+    payload = {
+        "benchmark": "million-device scaling frontier",
+        "dataset": "Synthetic-OD(1,1) (on-demand deterministic store)",
+        "cpu_count": os.cpu_count(),
+        "rounds_timed": args.rounds,
+        "local_epochs": args.epochs,
+        "eval_sample_size": args.sample_size,
+        "eval_strata": args.strata,
+        "generated_unix": int(time.time()),
+        "notes": {
+            "isolation": (
+                "every row is measured in its own subprocess so peak_rss_mb "
+                "(ru_maxrss) is a clean per-configuration high-water mark"
+            ),
+            "frontier": (
+                "eager/full rows reproduce the pre-store behavior: memory "
+                "and evaluate time grow with the federation. ondemand/"
+                "sampled rows bound memory by the active cohort + LRU cache "
+                "and evaluate a stratified sample with a 95% CI "
+                "(train_loss_ci); the eval_fraction budget (<50% at 10^4+) "
+                "is asserted by check_frontier and in CI via --smoke."
+            ),
+            "comparability": (
+                "eager rows materialize the same Synthetic-OD devices as "
+                "the lazy rows (list(dataset)), so the memory delta is the "
+                "store, not the data distribution."
+            ),
+        },
+        "results": rows,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,7 @@
 from .adaptive_mu import AdaptiveMuController
 from .baselines import make_distributed_sgd
 from .callbacks import Callback, EarlyStopping, LambdaCallback
-from .client import Client, ClientUpdate
+from .client import Client, ClientPool, ClientUpdate
 from .config import (
     CohortConfig,
     DiagnosticsConfig,
@@ -46,6 +46,7 @@ __all__ = [
     "EarlyStopping",
     "LambdaCallback",
     "Client",
+    "ClientPool",
     "ClientUpdate",
     "SamplingScheme",
     "UniformSamplingWeightedAverage",

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -167,3 +168,61 @@ class Client:
         predictions = self.model.predict(self.data.test_x)
         correct = int(np.sum(predictions == self.data.test_y))
         return correct, self.data.num_test
+
+
+class ClientPool(Sequence):
+    """Sequence of :class:`Client` objects resolved through the dataset's store.
+
+    The single point where the runtime turns device ids into clients.  For
+    an eager dataset the pool prebuilds the full client list — exactly the
+    historical ``[Client(data, model, solver) for data in dataset]``, so
+    behavior (and histories) are unchanged.  For a lazily-materializing
+    dataset (``dataset.is_lazy``) the pool builds a transient
+    :class:`Client` per access instead: the client's data comes from the
+    store's bounded cache, so a 10^6-device federation never holds more
+    than the active working set in memory.  Clients are stateless wrappers
+    (model and solver are shared), so transient construction cannot affect
+    training results.
+
+    ``train_sizes`` / ``test_sizes`` expose the store's per-client
+    metadata so evaluators can compute aggregation masses without
+    materializing anyone.
+    """
+
+    def __init__(self, dataset, model: FederatedModel, solver: LocalSolver) -> None:
+        self.dataset = dataset
+        self.model = model
+        self.solver = solver
+        self.lazy = bool(getattr(dataset, "is_lazy", False))
+        self._eager: Optional[List[Client]] = None
+        if not self.lazy:
+            self._eager = [Client(data, model, solver) for data in dataset]
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[Client, List[Client]]:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if self._eager is not None:
+            return self._eager[index]
+        if index < 0:
+            index += len(self)
+        return Client(self.dataset[index], self.model, self.solver)
+
+    def __iter__(self) -> Iterator[Client]:
+        if self._eager is not None:
+            return iter(self._eager)
+        return (self[i] for i in range(len(self)))
+
+    @property
+    def train_sizes(self) -> np.ndarray:
+        """Per-client training sample counts (store metadata; no I/O)."""
+        return self.dataset.train_sizes
+
+    @property
+    def test_sizes(self) -> np.ndarray:
+        """Per-client held-out sample counts (store metadata; no I/O)."""
+        return self.dataset.test_sizes

@@ -63,11 +63,26 @@ class CohortConfig:
 
 @dataclass(frozen=True)
 class EvaluationConfig:
-    """When and how the global model is evaluated."""
+    """When and how the global model is evaluated.
+
+    ``eval`` selects the evaluation strategy: ``"full"`` (exhaustive, the
+    historical behavior) or ``"sampled"`` (size-stratified subsample with
+    confidence intervals — see :mod:`repro.runtime.sampled`); the
+    ``eval_sample_size`` / ``eval_strata`` / ``eval_full_every`` knobs
+    apply only to the sampled strategy.  ``eval_train_every`` skips the
+    per-round training-loss evaluation on intermediate rounds (records
+    hold ``None`` there) — independent of ``eval_every``, which gates the
+    test/dissimilarity evaluation.
+    """
 
     eval_every: int = 1
     eval_test: bool = True
     eval_mode: str = "auto"
+    eval: str = "full"
+    eval_sample_size: int = 100
+    eval_strata: int = 10
+    eval_full_every: int = 0
+    eval_train_every: int = 1
 
 
 @dataclass(frozen=True)
@@ -96,6 +111,11 @@ _KWARG_MAP = {
     "eval_every": ("evaluation", "eval_every"),
     "eval_test": ("evaluation", "eval_test"),
     "eval_mode": ("evaluation", "eval_mode"),
+    "eval": ("evaluation", "eval"),
+    "eval_sample_size": ("evaluation", "eval_sample_size"),
+    "eval_strata": ("evaluation", "eval_strata"),
+    "eval_full_every": ("evaluation", "eval_full_every"),
+    "eval_train_every": ("evaluation", "eval_train_every"),
     "track_dissimilarity": ("diagnostics", "track_dissimilarity"),
     "track_gamma": ("diagnostics", "track_gamma"),
     "dissimilarity_max_clients": ("diagnostics", "dissimilarity_max_clients"),

@@ -20,10 +20,25 @@ class RoundRecord:
     round_idx:
         Round number (0-based; metrics are evaluated *after* aggregation).
     train_loss:
-        Global objective ``f(w) = sum_k p_k F_k(w)`` on training data.
+        Global objective ``f(w) = sum_k p_k F_k(w)`` on training data —
+        exact under full evaluation, a stratified-sample estimate under
+        sampled evaluation, or explicitly ``None`` when the round's
+        training-loss evaluation was skipped (``eval_train_every`` > 1);
+        skipped rounds record ``None`` rather than silently carrying the
+        previous value.
     test_accuracy:
         Sample-weighted accuracy across all devices' test sets
         (``None`` if evaluation was skipped this round).
+    train_loss_ci, accuracy_ci:
+        95% confidence half-widths of the sampled estimates (``None``
+        under full evaluation; ``0.0`` on sampled runs' full-checkpoint
+        rounds).
+    eval_sample_size:
+        Devices evaluated this round under sampled evaluation (``None``
+        under full evaluation).
+    eval_full:
+        ``True`` when a sampled-evaluation run took an exhaustive
+        full-evaluation checkpoint this round.
     dissimilarity:
         Gradient-variance dissimilarity ``E_k ||∇F_k(w) − ∇f(w)||²``
         (``None`` unless tracking was enabled).
@@ -47,10 +62,14 @@ class RoundRecord:
     """
 
     round_idx: int
-    train_loss: float
+    train_loss: Optional[float]
     test_accuracy: Optional[float] = None
     dissimilarity: Optional[float] = None
     mu: float = 0.0
+    train_loss_ci: Optional[float] = None
+    accuracy_ci: Optional[float] = None
+    eval_sample_size: Optional[int] = None
+    eval_full: bool = False
     gamma_mean: Optional[float] = None
     gamma_max: Optional[float] = None
     selected: List[int] = field(default_factory=list)
@@ -90,8 +109,15 @@ class TrainingHistory:
 
     @property
     def train_losses(self) -> List[float]:
-        """Global training-loss series."""
-        return [r.train_loss for r in self.records]
+        """Global training-loss series (skipped rounds omitted)."""
+        return [r.train_loss for r in self.records if r.train_loss is not None]
+
+    @property
+    def train_loss_cis(self) -> List[float]:
+        """Sampled-evaluation loss CI half-widths (full rounds omitted)."""
+        return [
+            r.train_loss_ci for r in self.records if r.train_loss_ci is not None
+        ]
 
     @property
     def test_accuracies(self) -> List[float]:
@@ -114,10 +140,18 @@ class TrainingHistory:
         return [r.gamma_mean for r in self.records if r.gamma_mean is not None]
 
     def final_train_loss(self) -> float:
-        """Training loss after the last round."""
+        """Most recent recorded training loss.
+
+        The last round whose training loss was actually evaluated — with
+        ``eval_train_every`` > 1 intermediate rounds record ``None``, and
+        the final round is always filled in by the trainer.
+        """
         if not self.records:
             raise ValueError("history is empty")
-        return self.records[-1].train_loss
+        for record in reversed(self.records):
+            if record.train_loss is not None:
+                return record.train_loss
+        raise ValueError("history has no evaluated training loss")
 
     def final_test_accuracy(self) -> Optional[float]:
         """Most recent recorded test accuracy."""
@@ -135,9 +169,12 @@ class TrainingHistory:
         """Column-oriented dump for CSV emission."""
         return {
             "round": self.rounds,
-            "train_loss": self.train_losses,
+            "train_loss": [r.train_loss for r in self.records],
             "test_accuracy": [r.test_accuracy for r in self.records],
             "dissimilarity": [r.dissimilarity for r in self.records],
             "mu": self.mus,
             "gamma_mean": [r.gamma_mean for r in self.records],
+            "train_loss_ci": [r.train_loss_ci for r in self.records],
+            "accuracy_ci": [r.accuracy_ci for r in self.records],
+            "eval_sample_size": [r.eval_sample_size for r in self.records],
         }

@@ -79,9 +79,20 @@ class UniformSamplingWeightedAverage(SamplingScheme):
     ) -> np.ndarray:
         if not updates:
             return w_previous
-        weights = np.array(
-            [self.dataset[cid].num_train for cid, _ in updates], dtype=np.float64
-        )
+        # Size metadata comes from the dataset's store when available
+        # (identical integers, so eager histories are bit-identical) —
+        # materializing a lazily-stored client just to read its training
+        # size would defeat the store's O(active cohort) memory bound.
+        sizes = getattr(self.dataset, "train_sizes", None)
+        if sizes is not None:
+            weights = np.array(
+                [sizes[cid] for cid, _ in updates], dtype=np.float64
+            )
+        else:
+            weights = np.array(
+                [self.dataset[cid].num_train for cid, _ in updates],
+                dtype=np.float64,
+            )
         weights /= weights.sum()
         stacked = np.stack([w for _, w in updates])
         return weights @ stacked

@@ -39,12 +39,13 @@ from ..models.base import FederatedModel
 from ..optim.base import LocalSolver
 from ..runtime.evaluation import no_test_samples_error
 from ..runtime.executor import LocalTask, RoundExecutor, SerialExecutor
+from ..runtime.sampled import SampledEvaluator
 from ..systems.costs import CostTracker
 from ..systems.stragglers import NoHeterogeneity, SystemsModel
-from ..telemetry import MetricsRegistry, resolve_telemetry
+from ..telemetry import MetricsRegistry, peak_rss_bytes, resolve_telemetry
 from .adaptive_mu import AdaptiveMuController
 from .callbacks import Callback
-from .client import Client, ClientUpdate
+from .client import Client, ClientPool, ClientUpdate
 from .config import TrainerConfig
 from .dissimilarity import DissimilarityReport, measure_dissimilarity
 from .history import RoundRecord, TrainingHistory
@@ -133,6 +134,27 @@ class FederatedTrainer:
         Evaluate test accuracy (and dissimilarity) every this many rounds.
     eval_test:
         Disable to skip test-set evaluation entirely.
+    eval:
+        Evaluation strategy — ``"full"`` (exhaustive over every device,
+        the historical behavior and default) or ``"sampled"``
+        (size-stratified per-round subsample with 95% confidence
+        intervals; see :class:`~repro.runtime.sampled.SampledEvaluator`).
+        Sampled evaluation is what makes 10^5+-device federations
+        tractable: evaluation cost drops from O(N) to O(sample size) per
+        round, with periodic exhaustive checkpoints anchoring the series.
+    eval_sample_size:
+        Devices evaluated per round under ``eval="sampled"``.
+    eval_strata:
+        Size strata for the stratified sampler (sampled evaluation only).
+    eval_full_every:
+        Under sampled evaluation, take an exhaustive full-evaluation
+        checkpoint every this many rounds (0 disables checkpoints).
+    eval_train_every:
+        Evaluate the global training loss every this many rounds;
+        intermediate rounds record ``train_loss=None`` explicitly.  Forced
+        to every round while an adaptive-µ controller is active (the
+        controller consumes the loss).  Independent of ``eval_every``,
+        which gates test accuracy.
     track_dissimilarity:
         Record the gradient-variance dissimilarity each evaluation round.
     track_gamma:
@@ -198,6 +220,11 @@ class FederatedTrainer:
         seed: int = 0,
         eval_every: int = 1,
         eval_test: bool = True,
+        eval: str = "full",
+        eval_sample_size: int = 100,
+        eval_strata: int = 10,
+        eval_full_every: int = 0,
+        eval_train_every: int = 1,
         track_dissimilarity: bool = False,
         track_gamma: bool = False,
         dissimilarity_max_clients: Optional[int] = None,
@@ -235,6 +262,14 @@ class FederatedTrainer:
         self.seed = int(seed)
         self.eval_every = int(eval_every)
         self.eval_test = bool(eval_test)
+        if eval not in ("full", "sampled"):
+            raise ValueError(
+                f"eval must be 'full' or 'sampled', got {eval!r}"
+            )
+        self.eval_strategy = eval
+        if eval_train_every < 1:
+            raise ValueError("eval_train_every must be at least 1")
+        self.eval_train_every = int(eval_train_every)
         self.track_dissimilarity = bool(track_dissimilarity)
         self.track_gamma = bool(track_gamma)
         self.dissimilarity_max_clients = dissimilarity_max_clients
@@ -256,9 +291,11 @@ class FederatedTrainer:
         )
         self._last_fault_report: Optional[RoundFaultReport] = None
 
-        self.clients: List[Client] = [
-            Client(data, model, solver) for data in dataset
-        ]
+        # Client access resolves through the dataset's store: eager
+        # datasets get the historical prebuilt list (bit-identical
+        # histories), lazy stores get transient per-access clients bounded
+        # by the store's cache.
+        self.clients: ClientPool = ClientPool(dataset, model, solver)
         if isinstance(executor, str):
             from ..runtime import make_executor
 
@@ -274,6 +311,25 @@ class FederatedTrainer:
             telemetry=self.telemetry,
         )
         self.eval_mode = self.executor.eval_mode
+        # Sampled evaluation runs in-process through the client pool (the
+        # per-round sample is a pure function of (seed, round), so every
+        # executor sees identical samples); full-evaluation checkpoints
+        # delegate to the executor's exhaustive oracle, preserving its
+        # evaluation parity guarantees on those rounds.
+        self._sampled_evaluator: Optional[SampledEvaluator] = None
+        if self.eval_strategy == "sampled":
+            self._sampled_evaluator = SampledEvaluator(
+                self.clients,
+                dataset.train_sizes,
+                dataset.test_sizes,
+                sample_size=eval_sample_size,
+                num_strata=eval_strata,
+                seed=self.seed,
+                full_every=eval_full_every,
+                full_oracle=self.executor,
+                label=dataset.name,
+                telemetry=self.telemetry,
+            )
         self.w = model.get_params()
         self._round = 0
         self._closed = False
@@ -337,11 +393,17 @@ class FederatedTrainer:
             "model": type(self.model).__name__,
             "n_params": self.model.n_params,
             "systems": type(self.systems).__name__,
+            "eval": self.eval_strategy,
             "eval_every": self.eval_every,
+            "eval_train_every": self.eval_train_every,
             "track_gamma": self.track_gamma,
             "track_dissimilarity": self.track_dissimilarity,
             "adaptive_mu": self.mu_controller is not None,
         }
+        if self._sampled_evaluator is not None:
+            config["eval_sample_size"] = self._sampled_evaluator.sample_size
+            config["eval_strata"] = self._sampled_evaluator.sampler.num_strata
+            config["eval_full_every"] = self._sampled_evaluator.full_every
         if self.faults.enabled:
             config["faults"] = self.faults.to_dict()
             config["fault_policy"] = self.fault_policy.to_dict()
@@ -442,16 +504,49 @@ class FederatedTrainer:
                 )
         return updates, stragglers, dropped
 
+    def _eval_train_loss(self, record: RoundRecord, round_idx: int) -> None:
+        """Fill the record's training loss via the configured strategy."""
+        if self._sampled_evaluator is not None:
+            estimate = self._sampled_evaluator.train_loss(self.w, round_idx)
+            record.train_loss = estimate.value
+            record.train_loss_ci = estimate.ci_halfwidth
+            record.eval_sample_size = estimate.sample_size
+            record.eval_full = estimate.full
+        else:
+            record.train_loss = self.executor.train_loss(self.w)
+
+    def _eval_test_accuracy(self, record: RoundRecord, round_idx: int) -> None:
+        """Fill the record's test accuracy via the configured strategy."""
+        if self._sampled_evaluator is not None:
+            estimate = self._sampled_evaluator.test_accuracy(self.w, round_idx)
+            record.test_accuracy = estimate.value
+            record.accuracy_ci = estimate.ci_halfwidth
+            record.eval_sample_size = estimate.sample_size
+            record.eval_full = estimate.full
+        else:
+            record.test_accuracy = self.executor.test_accuracy(self.w)
+
     def _evaluate(self, round_idx: int) -> RoundRecord:
-        """Post-aggregation metrics for the current global model."""
+        """Post-aggregation metrics for the current global model.
+
+        The training loss is evaluated on ``eval_train_every`` rounds (and
+        always on round 0, the final round via
+        :meth:`_ensure_final_evaluation`, and every round while the
+        adaptive-µ controller is active, since it consumes the loss);
+        skipped rounds record ``train_loss=None`` explicitly.
+        """
         self._last_dissimilarity = None
-        train_loss = self.executor.train_loss(self.w)
-        record = RoundRecord(
-            round_idx=round_idx, train_loss=train_loss, mu=self.mu
+        record = RoundRecord(round_idx=round_idx, train_loss=None, mu=self.mu)
+        need_train = (
+            (round_idx % self.eval_train_every) == 0
+            or round_idx == 0
+            or self.mu_controller is not None
         )
+        if need_train:
+            self._eval_train_loss(record, round_idx)
         if (round_idx % self.eval_every) == 0 or round_idx == 0:
             if self.eval_test:
-                record.test_accuracy = self.executor.test_accuracy(self.w)
+                self._eval_test_accuracy(record, round_idx)
             if self.track_dissimilarity:
                 report = measure_dissimilarity(
                     self.clients,
@@ -581,10 +676,18 @@ class FederatedTrainer:
             if gammas:
                 registry.histogram("fedprox.gamma").observe_many(gammas)
 
-        registry.gauge("train_loss").set(record.train_loss)
+        if record.train_loss is not None:
+            registry.gauge("train_loss").set(record.train_loss)
         if record.test_accuracy is not None:
             registry.gauge("test_accuracy").set(record.test_accuracy)
         registry.gauge("mu").set(record.mu)
+        if record.eval_sample_size is not None:
+            registry.gauge("eval.sample_size").set(record.eval_sample_size)
+        if record.train_loss_ci is not None:
+            registry.gauge("eval.ci_halfwidth").set(record.train_loss_ci)
+        peak_rss = peak_rss_bytes()
+        if peak_rss is not None:
+            registry.gauge("process.peak_rss_bytes").set(peak_rss)
         report = self._last_dissimilarity
         if report is not None:
             registry.gauge("fedprox.gradient_variance").set(
@@ -626,17 +729,20 @@ class FederatedTrainer:
         if not history.records:
             return
         last = history.records[-1]
+        needs_train = last.train_loss is None
         needs_test = self.eval_test and last.test_accuracy is None
         needs_dissimilarity = (
             self.track_dissimilarity and last.dissimilarity is None
         )
-        if not needs_test and not needs_dissimilarity:
+        if not needs_train and not needs_test and not needs_dissimilarity:
             return
         with self.telemetry.span(
             "phase:final_evaluate", round_idx=last.round_idx
         ):
+            if needs_train:
+                self._eval_train_loss(last, last.round_idx)
             if needs_test:
-                last.test_accuracy = self.executor.test_accuracy(self.w)
+                self._eval_test_accuracy(last, last.round_idx)
             if needs_dissimilarity:
                 report = measure_dissimilarity(
                     self.clients, self.w,

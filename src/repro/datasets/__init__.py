@@ -19,6 +19,15 @@ from .partition import (
     lognormal_sizes,
     power_law_sizes,
 )
+from .store import (
+    DEFAULT_CACHE_CLIENTS,
+    ClientStore,
+    EagerClientStore,
+    MmapShardStore,
+    OnDemandSyntheticStore,
+    make_synthetic_ondemand,
+    resolve_store,
+)
 from .synthetic import make_synthetic, make_synthetic_iid, synthetic_suite
 from .text import make_sent140_like, make_shakespeare_like
 
@@ -34,6 +43,13 @@ __all__ = [
     "power_law_sizes",
     "assign_classes_per_device",
     "iid_partition",
+    "ClientStore",
+    "EagerClientStore",
+    "MmapShardStore",
+    "OnDemandSyntheticStore",
+    "make_synthetic_ondemand",
+    "resolve_store",
+    "DEFAULT_CACHE_CLIENTS",
     "make_synthetic",
     "make_synthetic_iid",
     "synthetic_suite",

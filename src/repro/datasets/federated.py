@@ -86,53 +86,114 @@ class DatasetStats:
 
 
 class FederatedDataset:
-    """A named collection of :class:`ClientData`.
+    """A named collection of :class:`ClientData` backed by a client store.
+
+    Per-client data lives behind a :class:`~repro.datasets.store.ClientStore`.
+    Constructing from a ``clients`` sequence (the historical signature)
+    wraps it in the eager in-memory store — bit-identical to the
+    pre-store behavior; :meth:`from_store` attaches a lazily-materializing
+    store (memory-mapped shards, on-demand synthetic regeneration) so
+    million-device federations cost O(active cohort) memory.
 
     Parameters
     ----------
     name:
         Dataset name (used in experiment output).
     clients:
-        Per-device data.
+        Per-device data (eager path; mutually exclusive with ``store``).
     num_classes:
         Number of label classes across the federation.
     input_dim:
         Feature width for vector inputs, or sequence length for integer
         token inputs (informational).
+    store:
+        A prebuilt client store (lazy path; keyword-only).
     """
 
     def __init__(
         self,
         name: str,
-        clients: Sequence[ClientData],
-        num_classes: int,
+        clients: Optional[Sequence[ClientData]] = None,
+        num_classes: int = 0,
         input_dim: Optional[int] = None,
+        *,
+        store=None,
     ) -> None:
-        if not clients:
+        if (clients is None) == (store is None):
+            raise ValueError(
+                "pass exactly one of clients= or store= to FederatedDataset"
+            )
+        if store is None:
+            if not clients:
+                raise ValueError(
+                    "a federated dataset needs at least one client"
+                )
+            from .store import EagerClientStore  # deferred: store imports us
+
+            store = EagerClientStore(clients)
+        elif len(store) == 0:
             raise ValueError("a federated dataset needs at least one client")
         self.name = name
-        self.clients: List[ClientData] = list(clients)
+        self.store = store
         self.num_classes = num_classes
         self.input_dim = input_dim
 
+    @classmethod
+    def from_store(
+        cls,
+        name: str,
+        store,
+        num_classes: int,
+        input_dim: Optional[int] = None,
+    ) -> "FederatedDataset":
+        """Build a dataset over a prebuilt :class:`ClientStore`."""
+        return cls(
+            name, num_classes=num_classes, input_dim=input_dim, store=store
+        )
+
+    @property
+    def is_lazy(self) -> bool:
+        """Whether client access may materialize data on demand."""
+        return bool(getattr(self.store, "lazy", False))
+
+    @property
+    def clients(self) -> Sequence[ClientData]:
+        """Sequence view of per-device data.
+
+        For the eager store this is the actual in-memory list (the
+        historical attribute); for lazy stores it is the store itself —
+        indexing materializes one client, and forcing it with ``list()``
+        materializes the whole federation (avoid on large stores).
+        """
+        from .store import EagerClientStore  # deferred: store imports us
+
+        if isinstance(self.store, EagerClientStore):
+            return self.store.clients
+        return self.store
+
     def __len__(self) -> int:
-        return len(self.clients)
+        return len(self.store)
 
     def __iter__(self) -> Iterator[ClientData]:
-        return iter(self.clients)
+        return iter(self.store)
 
     def __getitem__(self, index: int) -> ClientData:
-        return self.clients[index]
+        return self.store[index]
 
     @property
     def num_devices(self) -> int:
         """Number of devices in the federation."""
-        return len(self.clients)
+        return len(self.store)
 
     @property
     def train_sizes(self) -> np.ndarray:
-        """Per-device training sample counts ``n_k``."""
-        return np.array([c.num_train for c in self.clients])
+        """Per-device training sample counts ``n_k`` (store metadata)."""
+        return self.store.train_sizes
+
+    @property
+    def test_sizes(self) -> np.ndarray:
+        """Per-device held-out sample counts (store metadata)."""
+        return self.store.test_sizes
 
     @property
     def total_train_samples(self) -> int:
@@ -147,9 +208,13 @@ class FederatedDataset:
     def stats(self) -> DatasetStats:
         """Summary statistics in the format of the paper's Table 1.
 
-        Table 1 reports totals over all samples (train + test).
+        Table 1 reports totals over all samples (train + test); computed
+        from store metadata, so it never materializes a client.
         """
-        counts = np.array([c.num_samples for c in self.clients], dtype=np.float64)
+        counts = (
+            np.asarray(self.train_sizes, dtype=np.float64)
+            + np.asarray(self.test_sizes, dtype=np.float64)
+        )
         return DatasetStats(
             name=self.name,
             devices=self.num_devices,
@@ -159,15 +224,22 @@ class FederatedDataset:
         )
 
     def global_train(self) -> tuple:
-        """Concatenate all devices' training data (for centralized baselines)."""
-        X = np.concatenate([c.train_x for c in self.clients])
-        y = np.concatenate([c.train_y for c in self.clients])
+        """Concatenate all devices' training data (for centralized baselines).
+
+        Materializes every client — intended for eager-scale datasets.
+        """
+        X = np.concatenate([c.train_x for c in self.store])
+        y = np.concatenate([c.train_y for c in self.store])
         return X, y
 
     def global_test(self) -> tuple:
-        """Concatenate all devices' test data."""
-        xs = [c.test_x for c in self.clients if c.num_test > 0]
-        ys = [c.test_y for c in self.clients if c.num_test > 0]
+        """Concatenate all devices' test data (materializes every client)."""
+        xs = []
+        ys = []
+        for c in self.store:
+            if c.num_test > 0:
+                xs.append(c.test_x)
+                ys.append(c.test_y)
         if not xs:
             raise ValueError("no test data in this federated dataset")
         return np.concatenate(xs), np.concatenate(ys)

@@ -34,6 +34,7 @@ from .evaluation import (
 )
 from .executor import LocalTask, RoundExecutor, SerialExecutor, task_rng
 from .parallel import ParallelExecutor
+from .sampled import EvalEstimate, SampledEvaluator, StratifiedClientSampler
 
 #: The executor spec grammar: mode name -> accepted spec strings.  A spec
 #: is ``mode`` or ``mode:argument``; only ``parallel`` takes an argument
@@ -130,4 +131,7 @@ __all__ = [
     "no_test_samples_error",
     "EVAL_MODES",
     "STACKED_EVAL_BLOCK",
+    "SampledEvaluator",
+    "StratifiedClientSampler",
+    "EvalEstimate",
 ]

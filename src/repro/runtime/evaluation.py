@@ -52,12 +52,22 @@ EVAL_MODES = ("auto", "per_client", "stacked")
 STACKED_EVAL_BLOCK = 2048
 
 
-def resolve_eval_mode(model: "FederatedModel", eval_mode: str) -> str:
+def resolve_eval_mode(
+    model: "FederatedModel", eval_mode: str, lazy: bool = False
+) -> str:
     """Resolve ``"auto"`` against the model's stacked-eval capability.
 
     ``"auto"`` picks ``"stacked"`` whenever the model supports it and falls
     back to ``"per_client"`` otherwise; explicitly requesting ``"stacked"``
     on a model without support is an error rather than a silent fallback.
+
+    ``lazy=True`` (a lazily-materializing client store backs the
+    federation) steers ``"auto"`` to ``"per_client"``: the stacked path
+    caches a concatenation of *every* client's arrays, which defeats the
+    store's O(active cohort) memory bound.  Explicitly requesting
+    ``"stacked"`` on a lazy store is still honored — small mmap-backed
+    federations may legitimately want it — it simply materializes the
+    federation once.
     """
     if eval_mode not in EVAL_MODES:
         raise ValueError(
@@ -65,7 +75,7 @@ def resolve_eval_mode(model: "FederatedModel", eval_mode: str) -> str:
         )
     supported = bool(getattr(model, "supports_stacked_eval", False))
     if eval_mode == "auto":
-        return "stacked" if supported else "per_client"
+        return "stacked" if (supported and not lazy) else "per_client"
     if eval_mode == "stacked" and not supported:
         raise ValueError(
             f"{type(model).__name__} does not support stacked evaluation; "
@@ -128,18 +138,33 @@ class FederationEvaluator:
             )
         if block_size < 1:
             raise ValueError("block_size must be positive")
-        self.clients = list(clients)
+        # A lazily-backed client pool is kept as-is (copying into a list
+        # would pin transient Client wrappers, and iterating it must stay
+        # streaming); plain client sequences are copied as before.
+        self.clients = (
+            clients if getattr(clients, "lazy", False) else list(clients)
+        )
         self.model = model
         self.eval_mode = eval_mode
         self.label = label
         self.block_size = block_size
         self.telemetry = resolve_telemetry(telemetry)
-        masses = np.array(
-            [c.data.num_train for c in self.clients], dtype=np.float64
-        )
+        # Aggregation masses come from store metadata when the client
+        # sequence exposes it (ClientPool) — same integers, same float64
+        # ops, so results are bit-identical to the per-client loop — and
+        # never materialize a lazily-stored client.
+        train_sizes = getattr(clients, "train_sizes", None)
+        if train_sizes is not None:
+            masses = np.asarray(train_sizes, dtype=np.float64)
+            test_rows = int(np.asarray(clients.test_sizes).sum())
+        else:
+            masses = np.array(
+                [c.data.num_train for c in self.clients], dtype=np.float64
+            )
+            test_rows = int(sum(c.data.num_test for c in self.clients))
         self._masses = masses / masses.sum()
         self._train_rows = int(masses.sum())
-        self._test_rows = int(sum(c.data.num_test for c in self.clients))
+        self._test_rows = test_rows
         self._train_stack: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._test_stack: Optional[Tuple[np.ndarray, np.ndarray]] = None
 

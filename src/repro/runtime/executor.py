@@ -235,18 +235,27 @@ class RoundExecutor(abc.ABC):
             splits, evaluator oracle calls); defaults to the shared
             no-op :data:`~repro.telemetry.NULL_TELEMETRY`.
         """
-        from ..core.client import Client  # deferred: core imports runtime
+        from ..core.client import ClientPool  # deferred: core imports runtime
 
         self.dataset = dataset
         self.model = model
         self.solver = solver
         self.telemetry = resolve_telemetry(telemetry)
-        self.clients = (
-            list(clients)
-            if clients is not None
-            else [Client(data, model, solver) for data in dataset]
+        # Client access always resolves through the dataset's store: a
+        # ClientPool passes through untouched (it already routes through
+        # the store's cache), a prebuilt plain sequence is copied as
+        # before, and with nothing given we build the pool ourselves —
+        # eager datasets get the historical prebuilt list, lazy stores get
+        # transient per-access clients.
+        if clients is None:
+            self.clients = ClientPool(dataset, model, solver)
+        elif isinstance(clients, ClientPool):
+            self.clients = clients
+        else:
+            self.clients = list(clients)
+        self.eval_mode = resolve_eval_mode(
+            model, eval_mode, lazy=bool(getattr(dataset, "is_lazy", False))
         )
-        self.eval_mode = resolve_eval_mode(model, eval_mode)
         self.evaluator = FederationEvaluator(
             self.clients,
             model,

@@ -71,10 +71,18 @@ def _warn_oversubscribed(requested: int, available: int) -> None:
 
 
 def _init_worker(dataset, model, solver) -> None:
-    """Build this worker's client list (runs once per worker process)."""
-    from ..core.client import Client
+    """Build this worker's client pool (runs once per worker process).
 
-    _WORKER["clients"] = [Client(data, model, solver) for data in dataset]
+    The pool resolves client access through the dataset's store: eager
+    datasets prebuild the full client list exactly as before, while
+    lazily-materializing stores (mmap shards reopen their files here,
+    on-demand synthetic stores rebuild only their metadata) materialize
+    clients per access — so workers inherit the store's O(active cohort)
+    memory bound instead of each holding a full federation copy.
+    """
+    from ..core.client import ClientPool
+
+    _WORKER["clients"] = ClientPool(dataset, model, solver)
 
 
 def _solve_task(task: LocalTask) -> "ClientUpdate":

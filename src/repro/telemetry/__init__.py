@@ -58,6 +58,7 @@ from .events import (
     summarize,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .resources import current_rss_bytes, peak_rss_bytes
 from .simtime import device_trace_events, emit_timeline, timeline_events
 from .sinks import ConsoleSink, InMemorySink, JSONLSink, Sink, read_jsonl
 
@@ -88,4 +89,6 @@ __all__ = [
     "emit_timeline",
     "timeline_events",
     "device_trace_events",
+    "current_rss_bytes",
+    "peak_rss_bytes",
 ]
