@@ -6,13 +6,18 @@ the convex logistic workload): this script times the model zoo's hot paths
 on the paper's non-convex workloads.
 
 ``charlstm`` / ``sentlstm``
-    Whole training rounds (FedProx, serial executor) with the LSTM models
-    in ``backend="graph"`` (per-timestep autograd, the seed behavior and
-    gradcheck reference) vs ``backend="fused"`` (hand-derived
-    forward/backward kernels, :func:`repro.autograd.fused_lstm`).  Both
-    backends run the identical federation at the identical seed; their
-    training histories are asserted to agree to ``HISTORY_TOL`` every run
-    — the speedup must never buy a different trajectory.
+    Whole training rounds (FedProx) with the LSTM models in three
+    configurations: ``backend="graph"`` (per-timestep autograd, the seed
+    behavior and gradcheck reference), ``backend="fused"`` (hand-derived
+    forward/backward kernels, :func:`repro.autograd.fused_lstm`, serial
+    executor), and ``fused-cohort`` (the same fused model solved through
+    ``CohortExecutor``'s stacked multi-client kernels —
+    :mod:`repro.autograd.stacked_lstm`).  All run the identical federation
+    at the identical seed; every variant's training history is asserted
+    against the reference each run (``HISTORY_TOL``, relaxed to
+    ``COHORT_HISTORY_TOL`` for the cohort path whose padded batch slots
+    shift BLAS blocking by a few ulp) — the speedup must never buy a
+    different trajectory.
 
 ``mlp``
     The same trainer with :class:`repro.models.MLPClassifier` under
@@ -57,10 +62,19 @@ from repro.optim import SGDSolver  # noqa: E402
 #: for floating-point association differences).
 HISTORY_TOL = 1e-10
 
+#: ISSUE acceptance tolerance for the stacked cohort LSTM solve: padded
+#: batch slots change BLAS k-blocking by a few ulp per step, so the cohort
+#: path is ulp-close rather than bitwise against the serial reference.
+COHORT_HISTORY_TOL = 1e-9
+
 #: Acceptance floor for the fused char-LSTM kernels on the full benchmark
 #: configuration (asserted outside --smoke; smoke shrinks the problem so
 #: far that Python fixed costs dominate both backends).
 CHARLSTM_MIN_SPEEDUP = 3.0
+
+
+def _variant_tol(mode: str) -> float:
+    return COHORT_HISTORY_TOL if mode.endswith("cohort") else HISTORY_TOL
 
 
 def _charlstm_case(scale: str) -> dict:
@@ -89,6 +103,10 @@ def _charlstm_case(scale: str) -> dict:
                 vocab_size=40, embed_dim=8, hidden=size["hidden"],
                 num_layers=2, seed=0, backend="fused",
             ), {}),
+            ("fused-cohort", lambda: CharLSTM(
+                vocab_size=40, embed_dim=8, hidden=size["hidden"],
+                num_layers=2, seed=0, backend="fused",
+            ), {"executor": "cohort"}),
         ],
     }
 
@@ -119,6 +137,10 @@ def _sentlstm_case(scale: str) -> dict:
                 vocab_size=200, embed_dim=16, hidden=size["hidden"],
                 num_layers=2, seed=0, backend="fused",
             ), {}),
+            ("fused-cohort", lambda: SentimentLSTM(
+                vocab_size=200, embed_dim=16, hidden=size["hidden"],
+                num_layers=2, seed=0, backend="fused",
+            ), {"executor": "cohort"}),
         ],
     }
 
@@ -205,32 +227,41 @@ def run_case(case: dict, epochs: float, repeats: int) -> List[dict]:
             f"{repeats}: {elapsed:.3f}s)"
         )
 
-    # The fast path must retrace the reference trajectory: identical
-    # selections and 1e-10-identical losses/accuracies at the fixed seed.
-    (ref_mode, _, _), (fast_mode, _, _) = case["variants"]
-    ref, fast = histories[ref_mode], histories[fast_mode]
-    max_diff = 0.0
-    for r_ref, r_fast in zip(ref.records, fast.records):
-        assert r_ref.selected == r_fast.selected, case["model"]
-        max_diff = max(
-            max_diff,
-            abs(r_ref.train_loss - r_fast.train_loss),
-            abs(r_ref.test_accuracy - r_fast.test_accuracy),
+    # Every fast path must retrace the reference trajectory: identical
+    # selections and tolerance-identical losses/accuracies at the fixed
+    # seed.  variants[0] is the reference; each later variant is checked
+    # against it with its own tolerance (the cohort path is ulp-close
+    # rather than bitwise — see COHORT_HISTORY_TOL).
+    ref_mode = case["variants"][0][0]
+    ref = histories[ref_mode]
+    diffs = {ref_mode: 0.0}
+    for fast_mode, _, _ in case["variants"][1:]:
+        fast = histories[fast_mode]
+        max_diff = 0.0
+        for r_ref, r_fast in zip(ref.records, fast.records):
+            assert r_ref.selected == r_fast.selected, (case["model"], fast_mode)
+            max_diff = max(
+                max_diff,
+                abs(r_ref.train_loss - r_fast.train_loss),
+                abs(r_ref.test_accuracy - r_fast.test_accuracy),
+            )
+        tol = _variant_tol(fast_mode)
+        assert max_diff <= tol, (
+            f"{case['model']}/{fast_mode}: fast path diverged from "
+            f"{ref_mode} by {max_diff:.3e} (tolerance {tol:.0e})"
         )
-    assert max_diff <= HISTORY_TOL, (
-        f"{case['model']}: fast path diverged from reference by {max_diff:.3e} "
-        f"(tolerance {HISTORY_TOL:.0e})"
-    )
-    speedup = rows[1]["rounds_per_sec"] / rows[0]["rounds_per_sec"]
+        diffs[fast_mode] = max_diff
     for row in rows:
         row["speedup_vs_reference"] = round(
             row["rounds_per_sec"] / rows[0]["rounds_per_sec"], 3
         )
-        row["history_max_diff"] = max_diff
-    print(
-        f"{case['model']:9s} {fast_mode} is {speedup:.2f}x {ref_mode} "
-        f"(history max diff {max_diff:.2e})"
-    )
+        row["history_max_diff"] = diffs[row["mode"]]
+        if row["mode"] != ref_mode:
+            print(
+                f"{case['model']:9s} {row['mode']} is "
+                f"{row['speedup_vs_reference']:.2f}x {ref_mode} "
+                f"(history max diff {row['history_max_diff']:.2e})"
+            )
     return rows
 
 
@@ -246,12 +277,21 @@ def run_benchmark(scale: str, epochs: float) -> dict:
         "cpu_count": os.cpu_count(),
         "local_epochs": epochs,
         "history_tolerance": HISTORY_TOL,
+        "cohort_history_tolerance": COHORT_HISTORY_TOL,
         "notes": {
             "charlstm": (
                 "graph = per-timestep autograd unroll (gradcheck "
                 "reference), fused = repro.autograd.fused_lstm hand-derived "
                 "kernels; identical federation, seed, and (to 1e-10) "
                 "training history."
+            ),
+            "fused-cohort": (
+                "The fused LSTM model solved through CohortExecutor's "
+                "stacked multi-client kernels (repro.autograd.stacked_lstm) "
+                "— the capabilities column shows stacked_local_solve: true. "
+                "History parity vs the graph reference is asserted to 1e-9 "
+                "(padded batch slots shift BLAS blocking by a few ulp); its "
+                "round rate must beat the serial fused row."
             ),
             "mlp": (
                 "per_client-eval = legacy per-device Python evaluation "
@@ -268,16 +308,26 @@ def check_smoke(payload: dict) -> None:
     pairs = {(row["model"], row["mode"]) for row in payload["results"]}
     expected = {
         ("charlstm", "graph"), ("charlstm", "fused"),
+        ("charlstm", "fused-cohort"),
         ("sentlstm", "graph"), ("sentlstm", "fused"),
+        ("sentlstm", "fused-cohort"),
         ("mlp", "per_client-eval"), ("mlp", "stacked-eval"),
     }
     assert pairs == expected, f"missing rows: {expected - pairs}"
     for row in payload["results"]:
         assert row["rounds_per_sec"] > 0, row
-        assert row["history_max_diff"] <= HISTORY_TOL, row
+        assert row["history_max_diff"] <= _variant_tol(row["mode"]), row
         assert "speedup_vs_reference" in row, row
         caps = row["capabilities"]
         assert caps["stacked_eval"] is True or row["mode"] == "per_client-eval", row
+        if row["mode"] in ("fused", "fused-cohort"):
+            # ISSUE acceptance: the LSTM rows advertise the stacked
+            # multi-client solve (and say why not when they don't).
+            assert caps["stacked_local_solve"] is True, row
+            assert caps["stacked_local_solve_reason"] is None, row
+        if row["mode"] == "graph":
+            assert caps["stacked_local_solve"] is False, row
+            assert "gradcheck oracle" in caps["stacked_local_solve_reason"], row
     fused = {
         row["model"]: row["speedup_vs_reference"]
         for row in payload["results"]
@@ -298,12 +348,25 @@ def check_full(payload: dict) -> None:
     """
     if payload["scale"] != "full":
         return
+    rate = {
+        (row["model"], row["mode"]): row["rounds_per_sec"]
+        for row in payload["results"]
+    }
     for row in payload["results"]:
         if row["model"] == "charlstm" and row["mode"] == "fused":
             assert row["speedup_vs_reference"] >= CHARLSTM_MIN_SPEEDUP, (
                 f"fused char-LSTM speedup {row['speedup_vs_reference']}x is "
                 f"below the {CHARLSTM_MIN_SPEEDUP}x acceptance floor"
             )
+    # ISSUE acceptance: the stacked cohort solve must beat the serial
+    # fused path in round rate for both LSTM workloads at full scale.
+    for model in ("charlstm", "sentlstm"):
+        cohort = rate[(model, "fused-cohort")]
+        serial = rate[(model, "fused")]
+        assert cohort > serial, (
+            f"{model}: cohort {cohort} rounds/s does not beat serial "
+            f"fused {serial} rounds/s"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -38,9 +38,19 @@ peak (``peak_rss_mb``), plus the measured ``NullTelemetry`` overhead
 fraction (asserted < 2% of round wall time in ``--smoke`` mode — disabled
 telemetry must stay near-free).
 
+Alongside the engine-mode table, a **skew sweep** (``--skew``, power-law
+exponents for :class:`~repro.systems.PowerLawStragglers`) measures the
+solve-phase gain of the cohort path against ``serial-fast`` as device
+budget skew grows: at ``alpha = 0`` every budget is the full ``E`` while
+large ``alpha`` produces the dominant-straggler cohorts the skew-aware
+packing planner (:mod:`repro.runtime.packing`) exists for.  Each sweep row
+records the mean ``cohort.pack_efficiency`` gauge next to the speedup, so
+the schedule quality and the wall-clock win land in the same artifact.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_runtime.py            # full sweep
+    PYTHONPATH=src python scripts/bench_runtime.py --skew 0 1 3
     PYTHONPATH=src python scripts/bench_runtime.py --quick    # CI-sized
     PYTHONPATH=src python scripts/bench_runtime.py --quick --smoke  # assert-only
 """
@@ -66,7 +76,7 @@ from repro.runtime import (  # noqa: E402
     RoundExecutor,
     SerialExecutor,
 )
-from repro.systems import FractionStragglers  # noqa: E402
+from repro.systems import FractionStragglers, PowerLawStragglers  # noqa: E402
 from repro.telemetry import (  # noqa: E402
     NULL_TELEMETRY,
     InMemorySink,
@@ -92,6 +102,8 @@ def build_trainer(
     epochs: float,
     seed: int = 0,
     telemetry=None,
+    systems=None,
+    eval_every: int = 1,
 ) -> FederatedTrainer:
     """One FedProx trainer per (dataset, engine mode) measurement."""
     model = MultinomialLogisticRegression(dim=60, num_classes=10)
@@ -115,10 +127,11 @@ def build_trainer(
         mu=1.0,
         clients_per_round=min(10, dataset.num_devices),
         epochs=epochs,
-        systems=FractionStragglers(0.5, seed=seed),
+        systems=systems if systems is not None else FractionStragglers(0.5, seed=seed),
         seed=seed,
         executor=executor,
         eval_mode=eval_mode,
+        eval_every=eval_every,
         telemetry=telemetry,
         label=f"bench-{mode}",
     )
@@ -182,6 +195,79 @@ def measure_null_overhead(round_seconds: float) -> dict:
         "round_seconds": round_seconds,
         "overhead_fraction": per_round / round_seconds if round_seconds else 0.0,
     }
+
+
+def run_skew_sweep(
+    alphas: List[float],
+    devices: List[int],
+    rounds: int,
+    epochs: float,
+) -> List[dict]:
+    """Cohort-vs-serial solve timings across power-law budget skew.
+
+    Evaluation is skipped (``eval_every`` past the horizon) so each row
+    isolates the local-solve phase — the part the packing planner
+    schedules.  The mean ``cohort.pack_efficiency`` gauge of the timed
+    rounds is recorded next to the speedup.
+    """
+    rows: List[dict] = []
+    for num_devices in devices:
+        dataset = make_synthetic(1.0, 1.0, num_devices=num_devices, seed=0)
+        for alpha in alphas:
+            solve_seconds = {}
+            pack = {"eff": None, "lanes": None, "width": None}
+            for mode in ("serial-fast", "cohort"):
+                sink = InMemorySink()
+                trainer = build_trainer(
+                    dataset, mode, workers=1, epochs=epochs,
+                    telemetry=Telemetry([sink]),
+                    systems=PowerLawStragglers(alpha, seed=0),
+                    eval_every=rounds + 2,
+                )
+                try:
+                    timing = time_rounds(trainer, rounds, sink)
+                finally:
+                    trainer.close()
+                solve_seconds[mode] = timing["solve_seconds"]
+                if mode == "cohort":
+                    gauges = [
+                        e for e in sink.metrics("cohort.pack_efficiency")
+                        if e["round"] is not None and e["round"] >= 1
+                    ]
+                    if gauges:
+                        pack["eff"] = sum(g["value"] for g in gauges) / len(gauges)
+                        pack["lanes"] = sum(g["lanes"] for g in gauges) / len(gauges)
+                        pack["width"] = sum(
+                            g["ideal_width"] for g in gauges
+                        ) / len(gauges)
+            speedup = solve_seconds["serial-fast"] / solve_seconds["cohort"]
+            rows.append(
+                {
+                    "devices": num_devices,
+                    "alpha": alpha,
+                    "rounds": rounds,
+                    "serial_fast_solve_seconds": round(
+                        solve_seconds["serial-fast"], 4
+                    ),
+                    "cohort_solve_seconds": round(solve_seconds["cohort"], 4),
+                    "cohort_solve_speedup": round(speedup, 3),
+                    "mean_pack_efficiency": (
+                        None if pack["eff"] is None else round(pack["eff"], 4)
+                    ),
+                    "mean_lanes": (
+                        None if pack["lanes"] is None else round(pack["lanes"], 2)
+                    ),
+                    "mean_ideal_width": (
+                        None if pack["width"] is None else round(pack["width"], 2)
+                    ),
+                }
+            )
+            print(
+                f"skew devices={num_devices:5d} alpha={alpha:4.1f}  "
+                f"cohort solve {speedup:6.2f}x vs serial-fast  "
+                f"pack_eff={pack['eff'] if pack['eff'] is None else round(pack['eff'], 3)}"
+            )
+    return rows
 
 
 def run_benchmark(
@@ -278,13 +364,16 @@ def run_benchmark(
                 "full-loop number is evaluation-dominated."
             ),
             "cohort_scaling": (
-                "The cohort solve speedup per round is bounded by budget "
-                "skew sum(T_k)/max(T_k): once the straggler with the "
-                "largest step budget is the only active row, the stacked "
-                "kernel degenerates to a sequential width-1 chain. At "
-                "1000 devices the sampled cohorts regularly contain one "
-                "dominant device (power-law sizes), which caps the "
-                "solve-phase gain below the 10/100-device rows."
+                "max_k T_k kernel calls remain a hard floor (each client's "
+                "chain is sequential), but the packing planner "
+                "(repro.runtime.packing) now bin-packs short chains "
+                "back-to-back into lanes, so budget skew no longer leaves "
+                "the stacked buffers K-wide and mostly idle: the mean "
+                "kernel width tracks sum(T_k)/max(T_k) instead of K, and "
+                "the cohort.pack_efficiency gauge (achieved/ideal width, "
+                "reported per skew_sweep row) stays near 1.0 under "
+                "power-law skew. The 1000-device rows no longer trail the "
+                "100-device rows on solve speedup (see skew_sweep)."
             ),
             "telemetry": (
                 "All timed runs are instrumented (InMemorySink + optional "
@@ -326,6 +415,14 @@ def check_smoke(payload: dict) -> None:
         f"disabled-telemetry overhead {100 * overhead:.3f}% exceeds the 2% "
         "budget — NullTelemetry must stay near-free"
     )
+    sweep = payload["skew_sweep"]["results"]
+    assert sweep, "skew sweep produced no rows"
+    for row in sweep:
+        assert row["cohort_solve_speedup"] > 0, row
+        assert row["serial_fast_solve_seconds"] > 0, row
+        assert row["mean_pack_efficiency"] is not None, row
+        assert 0.0 < row["mean_pack_efficiency"] <= 1.0, row
+        assert row["mean_lanes"] >= 1.0, row
 
 
 def check_artifact(path: str) -> None:
@@ -353,6 +450,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--epochs", type=float, default=20.0,
         help="local epochs E per round (paper default: 20)",
+    )
+    parser.add_argument(
+        "--skew", type=float, nargs="+", default=None, metavar="ALPHA",
+        help="power-law straggler exponents for the skew sweep "
+        "(PowerLawStragglers; default 0 1 3, shrunk under --quick/--smoke)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -385,9 +487,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if telemetry_out is None and not args.smoke:
         telemetry_out = os.path.splitext(args.output)[0] + "_telemetry.jsonl"
 
+    skew_alphas = args.skew
+    if skew_alphas is None:
+        skew_alphas = [2.0] if (args.quick or args.smoke) else [0.0, 1.0, 3.0]
+    skew_devices = [d for d in args.devices if d >= 100] or args.devices
+
     payload = run_benchmark(
         args.devices, args.rounds, args.workers, args.epochs, telemetry_out
     )
+    payload["skew_sweep"] = {
+        "systems_model": "PowerLawStragglers(alpha)",
+        "alphas": skew_alphas,
+        "devices": skew_devices,
+        "results": run_skew_sweep(
+            skew_alphas, skew_devices, args.rounds, args.epochs
+        ),
+    }
     payload["quick"] = bool(args.quick)
     payload["generated_unix"] = int(time.time())
 

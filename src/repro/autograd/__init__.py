@@ -43,6 +43,11 @@ from .functional import (
     softmax_cross_entropy,
 )
 from .gradcheck import check_gradients, numeric_gradient
+from .stacked_lstm import (
+    StackedLSTMWorkspace,
+    stacked_lstm_backward,
+    stacked_lstm_forward,
+)
 
 __all__ = [
     "Tensor",
@@ -79,6 +84,9 @@ __all__ = [
     "l2_norm_squared",
     "fused_lstm",
     "FusedLSTMWorkspace",
+    "StackedLSTMWorkspace",
+    "stacked_lstm_forward",
+    "stacked_lstm_backward",
     "check_gradients",
     "numeric_gradient",
 ]

@@ -117,6 +117,7 @@ class FederatedModel(abc.ABC):
         return {
             "stacked_eval": bool(self.supports_stacked_eval),
             "stacked_local_solve": bool(self.supports_stacked_local_solve),
+            "stacked_local_solve_reason": self.stacked_local_solve_reason,
             "eval_block_rows": self.stacked_eval_block_rows,
         }
 
@@ -132,6 +133,20 @@ class FederatedModel(abc.ABC):
         axis.  Gated capability, not a silent fallback.
         """
         return False
+
+    @property
+    def stacked_local_solve_reason(self) -> Optional[str]:
+        """Why :attr:`supports_stacked_local_solve` is off (``None`` if on).
+
+        Surfaced by :class:`~repro.runtime.cohort.CohortExecutor`'s
+        bind-time error and recorded in ``BENCH_models.json`` capability
+        rows, so "LSTM rows say stacked_local_solve: false" is always
+        accompanied by the *why* (e.g. the graph backend being the
+        gradcheck oracle rather than a missing kernel).
+        """
+        if self.supports_stacked_local_solve:
+            return None
+        return f"{type(self).__name__} does not implement stacked_gradient()"
 
     def stacked_gradient(
         self,

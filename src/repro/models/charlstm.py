@@ -15,6 +15,7 @@ import numpy as np
 from ..autograd import Tensor, softmax_cross_entropy
 from ..nn import LSTM, Dense, Embedding, FusedLSTM
 from ..nn.module import Module
+from ._stacked_seq import StackedSeqSolveMixin, _buf
 from .base import LSTM_BACKENDS, SEQ_EVAL_BLOCK_ROWS, NeuralModel
 
 
@@ -42,7 +43,7 @@ class _CharLSTMModule(Module):
         return self.head(final_hidden)  # (batch, vocab)
 
 
-class CharLSTM(NeuralModel):
+class CharLSTM(StackedSeqSolveMixin, NeuralModel):
     """Next-character predictor over integer token sequences.
 
     Inputs ``X`` are ``(batch, time)`` integer arrays; labels ``y`` are the
@@ -105,6 +106,38 @@ class CharLSTM(NeuralModel):
     def stacked_eval_block_rows(self) -> int:
         """Sequence-aware block: activations scale with ``time x hidden``."""
         return SEQ_EVAL_BLOCK_ROWS
+
+    # Stacked local-solve wiring (StackedSeqSolveMixin) ------------------- #
+    @property
+    def _stacked_head_width(self) -> int:
+        return self.vocab_size
+
+    @property
+    def _stacked_trainable_embedding(self) -> bool:
+        return True
+
+    def _stacked_loss_delta(
+        self, ws: dict, scores: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Softmax-CE gradient per row, op-for-op as the scalar loss.
+
+        Replicates :func:`repro.autograd.softmax_cross_entropy`: max-shift,
+        ``log_z`` through exp/sum/log, softmax as ``exp(log_probs)``, then
+        the one-hot subtraction — so each client row is bitwise the scalar
+        backward's ``base``.
+        """
+        mx = _buf(ws, "mx", scores.shape[:2] + (1,))
+        red = _buf(ws, "red", scores.shape[:2] + (1,))
+        delta = ws["delta"]
+        np.amax(scores, axis=2, keepdims=True, out=mx)
+        np.subtract(scores, mx, out=scores)  # shifted logits
+        np.exp(scores, out=delta)
+        np.sum(delta, axis=2, keepdims=True, out=red)
+        np.log(red, out=red)  # log partition
+        np.subtract(scores, red, out=scores)  # log-probs
+        np.exp(scores, out=delta)  # softmax
+        delta[ws["k2"], ws["b2"], y] -= 1.0
+        return delta
 
     def forward_loss(self, X: np.ndarray, y: np.ndarray) -> Tensor:
         logits = self.module(np.asarray(X))

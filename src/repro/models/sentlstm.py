@@ -14,6 +14,7 @@ import numpy as np
 from ..autograd import Tensor, binary_cross_entropy_with_logits
 from ..nn import LSTM, Dense, Embedding, FusedLSTM
 from ..nn.module import Module
+from ._stacked_seq import StackedSeqSolveMixin, _buf
 from .base import LSTM_BACKENDS, SEQ_EVAL_BLOCK_ROWS, NeuralModel
 
 
@@ -42,7 +43,7 @@ class _SentLSTMModule(Module):
         return self.head(final_hidden)  # (batch, 1) raw logit
 
 
-class SentimentLSTM(NeuralModel):
+class SentimentLSTM(StackedSeqSolveMixin, NeuralModel):
     """Binary sequence classifier over integer token sequences.
 
     Inputs ``X`` are ``(batch, time)`` integer arrays; labels ``y`` are
@@ -109,6 +110,38 @@ class SentimentLSTM(NeuralModel):
     def stacked_eval_block_rows(self) -> int:
         """Sequence-aware block: activations scale with ``time x hidden``."""
         return SEQ_EVAL_BLOCK_ROWS
+
+    # Stacked local-solve wiring (StackedSeqSolveMixin) ------------------- #
+    @property
+    def _stacked_head_width(self) -> int:
+        return 1
+
+    @property
+    def _stacked_trainable_embedding(self) -> bool:
+        return self.trainable_embedding
+
+    def _stacked_loss_delta(
+        self, ws: dict, scores: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """BCE-with-logits gradient per row, op-for-op as the scalar loss.
+
+        Replicates :func:`repro.autograd.binary_cross_entropy_with_logits`:
+        the two-branch stable sigmoid ``where(x >= 0, 1/(1+e), e/(1+e))``
+        with ``e = exp(-|x|)``, then ``sigma - y``.
+        """
+        x = scores  # (K, B, 1) raw logits
+        ex = _buf(ws, "ex", x.shape)
+        den = _buf(ws, "den", x.shape)
+        delta = ws["delta"]
+        np.abs(x, out=ex)
+        np.negative(ex, out=ex)
+        np.exp(ex, out=ex)  # exp(-|x|)
+        np.add(ex, 1.0, out=den)
+        np.divide(1.0, den, out=delta)  # sigma, non-negative branch
+        np.divide(ex, den, out=ex)  # sigma, negative branch
+        np.copyto(delta, ex, where=x < 0)
+        delta -= y[:, :, None]
+        return delta
 
     def forward_loss(self, X: np.ndarray, y: np.ndarray) -> Tensor:
         logits = self.module(np.asarray(X))

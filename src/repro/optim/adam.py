@@ -101,11 +101,15 @@ class AdamSolver(LocalSolver):
         }
 
     def stacked_step(
-        self, W: np.ndarray, G: np.ndarray, state: dict, step: int
+        self, W: np.ndarray, G: np.ndarray, state: dict, step
     ) -> None:
-        # Every active row has taken exactly ``step - 1`` prior steps
-        # (clients only ever drop out of the stacked loop), so one global
-        # bias-correction exponent serves the whole cohort.
+        # ``step`` is a plain int when every active lane sits at the same
+        # local step (one chain per lane); the packing planner passes an
+        # (A,) array of per-row 1-based steps when lanes at different chain
+        # offsets share a segment.  Both branches evaluate beta**step
+        # through libm ``pow`` (Python float ** int and np.power on float64
+        # agree), so the bias correction is numerically identical either
+        # way.
         a = len(W)
         m = state["m"][:a]
         v = state["v"][:a]
@@ -120,11 +124,24 @@ class AdamSolver(LocalSolver):
         np.power(G, 2, out=scratch)
         np.multiply(scratch, 1 - self.beta2, out=scratch)
         v += scratch
+        if isinstance(step, np.ndarray):
+            exp = step.astype(np.float64)[:, None]
+            corr1 = 1.0 - np.power(self.beta1, exp)
+            corr2 = 1.0 - np.power(self.beta2, exp)
+        else:
+            corr1 = 1 - self.beta1**step
+            corr2 = 1 - self.beta2**step
         # w -= lr * m_hat / (sqrt(v_hat) + eps)
-        np.divide(m, 1 - self.beta1**step, out=scratch)   # m_hat
+        np.divide(m, corr1, out=scratch)   # m_hat
         np.multiply(scratch, self.learning_rate, out=scratch)
-        np.divide(v, 1 - self.beta2**step, out=scratch2)  # v_hat
+        np.divide(v, corr2, out=scratch2)  # v_hat
         np.sqrt(scratch2, out=scratch2)
         scratch2 += self.eps
         np.divide(scratch, scratch2, out=scratch)
         np.subtract(W, scratch, out=W)
+
+    def stacked_reset(self, state: dict, rows) -> None:
+        # A lane recycled for a new client chain starts from zeroed
+        # moments, exactly as the scalar solve() re-zeros m and v.
+        state["m"][rows] = 0.0
+        state["v"][rows] = 0.0

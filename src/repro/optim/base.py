@@ -31,14 +31,24 @@ implement three hooks used by :class:`repro.runtime.cohort.CohortExecutor`:
     The per-client mini-batch index schedule (list of index arrays), drawn
     from ``rng`` exactly as the scalar ``solve`` would draw it.
 ``stacked_state(shape)``
-    Preallocated workspace buffers for a cohort of ``shape = (K, d)``.
+    Preallocated workspace buffers for a cohort of ``shape = (L, d)``
+    (one row per scheduler *lane*; see :mod:`repro.runtime.packing`).
 ``stacked_step(W, G, state, step)``
     Apply one update in place to the *active* rows ``W`` (a ``(A, d)``
-    prefix view) given subproblem gradients ``G``; ``step`` is the 1-based
-    global step index (every active client has taken exactly ``step - 1``
-    prior steps, because clients only ever drop out of the stacked loop).
-    Must perform the same floating-point operations, in the same order, as
-    one scalar ``solve`` iteration so the two paths agree bitwise.
+    prefix view) given subproblem gradients ``G``.  ``step`` is either a
+    plain ``int`` — every active row is at the same 1-based local step, the
+    common case when each lane runs a single client chain — or an ``(A,)``
+    ``int64`` array of per-row 1-based local steps, which the skew-aware
+    packing planner passes when lanes at different chain offsets share a
+    kernel segment.  Must perform the same floating-point operations, in
+    the same order, as one scalar ``solve`` iteration so the two paths
+    agree bitwise (step-dependent solvers like Adam must make the array
+    branch numerically identical to the scalar exponentiation).
+``stacked_reset(state, rows)``
+    Re-zero any per-row solver state (momentum velocity, Adam moments)
+    when a lane is recycled for a *new* client chain mid-solve.  ``rows``
+    is an ``int`` row index or an index array.  Stateless solvers keep the
+    default no-op.
 """
 
 from __future__ import annotations
@@ -221,7 +231,7 @@ class LocalSolver(abc.ABC):
         )
 
     def stacked_state(self, shape: tuple) -> Optional[dict]:
-        """Preallocated workspace for a cohort solve over ``shape=(K, d)``."""
+        """Preallocated workspace for a cohort solve over ``shape=(L, d)``."""
         return None
 
     def stacked_step(
@@ -229,9 +239,23 @@ class LocalSolver(abc.ABC):
         W: np.ndarray,
         G: np.ndarray,
         state: Optional[dict],
-        step: int,
+        step,
     ) -> None:
-        """Apply one in-place update to the active rows of the cohort."""
+        """Apply one in-place update to the active rows of the cohort.
+
+        ``step`` is an ``int`` (uniform segment) or an ``(A,)`` int64 array
+        of per-row 1-based local steps (mixed-offset segment).
+        """
         raise NotImplementedError(
             f"{type(self).__name__} does not support stacked cohort solves"
         )
+
+    def stacked_reset(self, state: Optional[dict], rows) -> None:
+        """Zero per-row solver state when a lane starts a new client chain.
+
+        Called by the cohort scheduler each time a lane is (re)assigned to
+        a client, so stateful solvers reproduce the scalar path's
+        fresh-state-per-solve behaviour even when several clients share a
+        lane back-to-back.  The default is a no-op, correct for stateless
+        solvers whose workspace holds only scratch buffers.
+        """

@@ -132,16 +132,21 @@ class MomentumSGDSolver(LocalSolver):
         }
 
     def stacked_step(
-        self, W: np.ndarray, G: np.ndarray, state: dict, step: int
+        self, W: np.ndarray, G: np.ndarray, state: dict, step
     ) -> None:
         # Rows of dropped-out clients freeze along with their velocity,
-        # because only the active (A, d) prefix is ever touched.
+        # because only the active (A, d) prefix is ever touched; lanes
+        # recycled for a new chain are re-zeroed via stacked_reset.
         v = state["velocity"][: len(W)]
         scratch = state["scratch"][: len(W)]
         np.multiply(v, self.momentum, out=v)
         v += G
         np.multiply(v, self.learning_rate, out=scratch)
         np.subtract(W, scratch, out=W)
+
+    def stacked_reset(self, state: dict, rows) -> None:
+        # A fresh chain starts from zero velocity, as scalar solve() does.
+        state["velocity"][rows] = 0.0
 
 
 class GDSolver(LocalSolver):

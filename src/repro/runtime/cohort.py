@@ -6,8 +6,8 @@ a time through ``model.set_params()`` + ``loss_and_gradient()`` — a
 each paying full Python/NumPy dispatch overhead.  The paper's headline
 experiments (1000-device synthetic and FEMNIST logistic models) are
 exactly the workload where stacking pays off:
-:class:`CohortExecutor` packs the K selected clients' weight vectors into
-a ``(K, d)`` matrix and advances *all* clients' FedProx local solves
+:class:`CohortExecutor` packs the selected clients' weight vectors into a
+stacked matrix and advances *all* clients' FedProx local solves
 simultaneously with batched kernels.
 
 Mechanics
@@ -15,28 +15,40 @@ Mechanics
 * **Scheduling.**  Each task's mini-batch schedule is drawn from the same
   ``(seed, round, client, occurrence)`` entropy tuple as the scalar path
   (:func:`~repro.runtime.executor.task_rng` + the solver's
-  ``stacked_plan``), so batch orders are identical by construction.
+  ``stacked_plan``), so batch orders are identical by construction.  The
+  skew-aware packing planner (:mod:`repro.runtime.packing`) then bin-packs
+  the K client chains into ``L <= K`` *lanes* of capacity
+  ``t_max = max_k T_k`` (first-fit decreasing), running short chains
+  back-to-back in one lane.  Under the paper's power-law budget skew this
+  shrinks the stacked buffers from K-wide to near the information-theoretic
+  minimum ``ceil(sum T_k / t_max)``; balanced cohorts degenerate to the
+  legacy one-client-per-row prefix schedule exactly.  The achieved/ideal
+  width ratio is emitted as the ``cohort.pack_efficiency`` gauge.
 * **Ragged data.**  The cohort's selected training shards are concatenated
-  once per round (plus one zero pad row); each step gathers a
-  ``(K, B, ...)`` block through a precomputed index tensor whose padding
-  entries point at the pad row.  A float mask zeroes padding contributions
-  before the backward GEMMs, so padded rows add exact ``±0.0`` terms.
-* **Stragglers.**  Clients are sorted by descending batch budget, making
-  the active set a shrinking *prefix* of the stack: a straggler whose
-  fractional epoch budget is exhausted simply drops out of the stacked
-  loop (its rows — weights and any solver state — freeze), and no masking
-  or gather is needed for dropout.  Results are restored to task order at
-  the end.
+  once per round (plus one zero pad row, integer dtypes preserved so token
+  sequences survive); each step gathers an ``(A, B, ...)`` block through a
+  precomputed ``(t_max, L, b_max)`` index tensor whose padding entries
+  point at the pad row.  A float mask zeroes padding contributions before
+  the backward GEMMs, so padded rows add exact ``±0.0`` terms.
+* **Stragglers.**  Lanes are ordered by descending total load, making the
+  busy set at any step a *prefix* of the stack: when a lane's last chain
+  ends it simply drops out of the stacked loop.  Time decomposes into
+  *segments* between chain boundaries; at each boundary finishing chains
+  copy their lane row out and starting chains load their task's ``w_t``,
+  µ, and correction (and reset per-row solver state via
+  ``stacked_reset``).  Results are restored to task order at the end.
 * **Determinism.**  Model kernels (``stacked_gradient``) and solver steps
-  (``stacked_step``) replicate the scalar path's floating-point operation
-  order; the proximal term ``µ(w_k − w_t)`` and optional FedDane
+  (``stacked_step``, fed per-row local step indices when packed lanes sit
+  at different chain offsets) replicate the scalar path's floating-point
+  operation order; the proximal term ``µ(w_k − w_t)`` and optional FedDane
   correction are applied row-wise exactly as
-  :class:`~repro.optim.proximal.LocalObjective` applies them.  Histories
-  match :class:`~repro.runtime.executor.SerialExecutor` bitwise on the
-  GEMM-accumulation-stable kernels and within 1e-12 otherwise (enforced
-  by ``tests/test_runtime_cohort.py``).  γ-inexactness is measured with
-  the *same* :class:`LocalObjective` code the scalar path uses, so γ
-  statistics agree to the same precision.
+  :class:`~repro.optim.proximal.LocalObjective` applies them.  Each
+  client's chain still runs its own steps in order against only its own
+  row, so histories match :class:`~repro.runtime.executor.SerialExecutor`
+  bitwise on the GEMM-accumulation-stable kernels and within 1e-12
+  otherwise (enforced by ``tests/test_runtime_cohort.py``).
+  γ-inexactness is measured with the *same* :class:`LocalObjective` code
+  the scalar path uses, so γ statistics agree to the same precision.
 
 Capability gating mirrors the evaluation fast path: the model must
 advertise ``supports_stacked_local_solve`` and the solver
@@ -59,6 +71,7 @@ from .executor import (
     task_rng,
     task_round,
 )
+from .packing import plan_cohort
 
 if TYPE_CHECKING:  # avoid a circular import with repro.core
     from ..core.client import Client, ClientUpdate
@@ -81,11 +94,12 @@ def solve_cohort(
     """Run every task's local solve in one stacked loop; task-order results.
 
     When ``telemetry`` is enabled, the solve's internal phase splits are
-    emitted as ``cohort:plan`` (batch schedules), ``cohort:pack`` (shard
-    concatenation + gather-plan build), ``cohort:kernel`` (the stacked
-    step loop), and ``cohort:finalize`` (task-order restore + γ
-    measurement) spans — the cohort-path counterpart of the per-client
-    ``solve:client`` spans the scalar executors produce.
+    emitted as ``cohort:plan`` (batch schedules + lane packing),
+    ``cohort:pack`` (shard concatenation + gather-plan build),
+    ``cohort:kernel`` (the stacked step loop), and ``cohort:finalize``
+    (task-order restore + γ measurement) spans — plus the
+    ``cohort.pack_efficiency`` gauge (achieved width / ideal width of the
+    packed lane schedule).
     """
     import time
 
@@ -113,100 +127,114 @@ def solve_cohort(
         for task in tasks
     ]
 
-    # Sort by descending budget so the active set is always a prefix.
-    # ``sorted`` is stable: equal budgets keep task order.
-    order = sorted(range(K), key=lambda i: -len(plans[i]))
-    budgets = [len(plans[i]) for i in order]
-    t_max = budgets[0]
-    b_max = max(len(batch) for i in order for batch in plans[i])
+    plan = plan_cohort([len(p) for p in plans])
+    L = plan.n_lanes
+    t_max = plan.t_max
+    b_max = max(len(batch) for p in plans for batch in p)
 
     if telemetry.enabled:
         now = time.perf_counter()
         telemetry.record_span(
             "cohort:plan", now - t_phase, round_idx=round_idx,
-            clients=K, steps=t_max,
+            clients=K, steps=t_max, lanes=L,
+        )
+        telemetry.metric(
+            "cohort.pack_efficiency", plan.pack_efficiency,
+            round_idx=round_idx, kind="gauge",
+            lanes=L, clients=K, steps=t_max,
+            ideal_width=plan.ideal_width,
         )
         t_phase = now
 
-    # Concatenate the cohort's shards once; the final row is a zero pad
-    # target for out-of-batch gather indices.
+    # Concatenate the cohort's shards once (task order); the final row is
+    # a zero pad target for out-of-batch gather indices.  Integer feature
+    # dtypes (token sequences) are preserved — the pad row is token 0,
+    # whose gradient contribution the mask zeroes exactly.
     xs, ys, offsets = [], [], []
     base = 0
-    for i in order:
-        data = clients[tasks[i].client_id].data
+    for task in tasks:
+        data = clients[task.client_id].data
         xs.append(data.train_x)
         ys.append(data.train_y)
         offsets.append(base)
         base += data.num_train
     feat_shape = xs[0].shape[1:]
-    x_cat = np.zeros((base + 1,) + feat_shape, dtype=np.float64)
-    x_cat[:base] = np.concatenate(xs).astype(np.float64, copy=False)
+    x_dtype = xs[0].dtype
+    if not np.issubdtype(x_dtype, np.integer):
+        x_dtype = np.float64
+    x_cat = np.zeros((base + 1,) + feat_shape, dtype=x_dtype)
+    x_cat[:base] = np.concatenate(xs)
     y_cat = np.zeros(base + 1, dtype=np.int64)
     y_cat[:base] = np.concatenate(ys)
     pad = base  # index of the zero row
 
-    # Precomputed gather plan: indices, masks and batch sizes per step.
-    # Built with one vectorized scatter per client row — a Python loop over
-    # every (step, sample) would cost more than the stacked solve itself.
-    idx = np.full((t_max, K, b_max), pad, dtype=np.int64)
-    mask = np.zeros((t_max, K, b_max), dtype=np.float64)
-    counts = np.ones((t_max, K), dtype=np.float64)
-    for row, i in enumerate(order):
-        batches = plans[i]
+    # Precomputed gather plan over (step, lane, batch-slot): indices,
+    # masks and batch sizes, scattered once per chain placement — a Python
+    # loop over every (step, sample) would cost more than the solve.
+    idx = np.full((t_max, L, b_max), pad, dtype=np.int64)
+    mask = np.zeros((t_max, L, b_max), dtype=np.float64)
+    counts = np.ones((t_max, L), dtype=np.float64)
+    for p in plan.placements:
+        batches = plans[p.task]
         T = len(batches)
         flat = np.concatenate(batches)
-        flat += offsets[row]
+        flat += offsets[p.task]
         lens = np.fromiter((len(b) for b in batches), dtype=np.int64, count=T)
-        step_of = np.repeat(np.arange(T), lens)
+        step_of = np.repeat(np.arange(T), lens) + p.start
         col_of = np.arange(len(flat)) - np.repeat(np.cumsum(lens) - lens, lens)
-        idx[step_of, row, col_of] = flat
-        mask[step_of, row, col_of] = 1.0
-        counts[:T, row] = lens
-    counts3 = counts[:, :, None, None]  # kernel-shaped (t, K, 1, 1) view
+        idx[step_of, p.lane, col_of] = flat
+        mask[step_of, p.lane, col_of] = 1.0
+        counts[p.start : p.stop, p.lane] = lens
+    counts3 = counts[:, :, None, None]  # kernel-shaped (t, L, 1, 1) view
 
-    # Stacked weights: each row starts from its task's w_t, float64 copies
-    # exactly as the scalar solvers take them.
-    W = np.empty((K, d), dtype=np.float64)
-    for row, i in enumerate(order):
-        W[row] = np.asarray(tasks[i].w_global, dtype=np.float64)
-    W_ref = W.copy()
-    mus = np.array([tasks[i].mu for i in order], dtype=np.float64)
-    any_mu = bool(np.any(mus > 0))
-    corrections = [tasks[i].correction for i in order]
-    any_corr = any(c is not None for c in corrections)
+    # Stacked per-lane weights and subproblem parameters; rows are loaded
+    # lazily at each chain's start segment (float64 copies exactly as the
+    # scalar solvers take them) and copied out at its end segment.
+    W = np.empty((L, d), dtype=np.float64)
+    W_ref = np.empty((L, d), dtype=np.float64)
+    mus = np.zeros(L, dtype=np.float64)
+    corrections: List[object] = [None] * L
+    results: List[np.ndarray] = [None] * K  # type: ignore[list-item]
 
-    state = solver.stacked_state((K, d))
-    prox = np.empty((K, d), dtype=np.float64)
+    state = solver.stacked_state((L, d))
+    prox = np.empty((L, d), dtype=np.float64)
     feat_size = int(np.prod(feat_shape)) if feat_shape else 1
 
     if telemetry.enabled:
         now = time.perf_counter()
         telemetry.record_span(
             "cohort:pack", now - t_phase, round_idx=round_idx,
-            rows=int(base), clients=K,
+            rows=int(base), clients=K, lanes=L,
         )
         t_phase = now
 
-    # The active set shrinks only at budget boundaries, so the step loop
-    # decomposes into segments of constant width ``a``: steps
-    # ``[budgets[a], budgets[a-1])`` run exactly the first ``a`` rows.
-    # Within a segment, batches for many steps are gathered in one fancy
-    # index (chunked to bound the staging buffer), so the per-step Python
+    # The step loop decomposes into the planner's segments of constant
+    # busy width ``a``; within a segment each active lane advances one
+    # fixed chain, so batches for many steps are gathered in one fancy
+    # index (chunked to bound the staging buffer) and the per-step Python
     # cost is one kernel call plus slice views.
     stacked_gradient = model.stacked_gradient
     stacked_step = solver.stacked_step
-    for a in range(K, 0, -1):
-        seg_lo = budgets[a] if a < K else 0
-        seg_hi = budgets[a - 1]
-        if seg_hi <= seg_lo:
-            continue  # tied budgets: this width never occurs
+    for seg in plan.segments:
+        for p in seg.starts:
+            lane = p.lane
+            task = tasks[p.task]
+            W[lane] = np.asarray(task.w_global, dtype=np.float64)
+            W_ref[lane] = W[lane]
+            mus[lane] = task.mu
+            corrections[lane] = task.correction
+            solver.stacked_reset(state, lane)
+        a = seg.width
         Wa = W[:a]
         Wr = W_ref[:a]
         mua = mus[:a, None]
         diff = prox[:a]
+        any_mu = bool(np.any(mus[:a] > 0))
+        any_corr = any(c is not None for c in corrections[:a])
+        base_steps = seg.base_steps
         chunk = max(1, _GATHER_CHUNK_BYTES // max(1, a * b_max * feat_size * 8))
-        for lo in range(seg_lo, seg_hi, chunk):
-            hi = min(lo + chunk, seg_hi)
+        for lo in range(seg.lo, seg.hi, chunk):
+            hi = min(lo + chunk, seg.hi)
             Xc = x_cat[idx[lo:hi, :a]]
             yc = y_cat[idx[lo:hi, :a]]
             mc = mask[lo:hi, :a]
@@ -228,22 +256,27 @@ def solve_cohort(
                     for row in range(a):
                         if corrections[row] is not None:
                             G[row] += corrections[row]
-                stacked_step(Wa, G, state, lo + s + 1)
+                off = lo - seg.lo + s
+                if seg.uniform:
+                    stacked_step(Wa, G, state, int(base_steps[0]) + off)
+                else:
+                    stacked_step(Wa, G, state, base_steps + off)
+        for p in seg.ends:
+            results[p.task] = W[p.lane].copy()
 
     if telemetry.enabled:
         now = time.perf_counter()
         telemetry.record_span(
             "cohort:kernel", now - t_phase, round_idx=round_idx,
-            steps=t_max, clients=K,
+            steps=t_max, clients=K, lanes=L,
         )
         t_phase = now
 
-    # Restore task order and emit updates with the scalar path's metadata.
+    # Emit updates in task order with the scalar path's metadata.
     updates: List["ClientUpdate"] = [None] * K  # type: ignore[list-item]
-    for row, i in enumerate(order):
-        task = tasks[i]
+    for i, task in enumerate(tasks):
         client = clients[task.client_id]
-        w_local = W[row].copy()
+        w_local = results[i]
         gamma = None
         if task.measure_gamma:
             objective = client.make_objective(
@@ -281,10 +314,12 @@ class CohortExecutor(RoundExecutor):
 
     def _on_bind(self) -> None:
         if not getattr(self.model, "supports_stacked_local_solve", False):
+            reason = getattr(self.model, "stacked_local_solve_reason", None)
+            detail = f" ({reason})" if reason else ""
             raise TypeError(
                 f"CohortExecutor requires a model implementing the stacked "
                 f"local-solve protocol; {type(self.model).__name__} does not "
-                "advertise supports_stacked_local_solve. Implement "
+                f"advertise supports_stacked_local_solve{detail}. Implement "
                 "stacked_gradient() or use SerialExecutor — cohort execution "
                 "will not silently fall back to serial."
             )

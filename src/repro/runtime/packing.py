@@ -1,0 +1,217 @@
+"""Skew-aware cohort packing: lane assignment for stacked local solves.
+
+The original cohort scheduler stacked one client per row and sorted rows by
+descending batch budget, so stragglers fell off a shrinking *prefix*.  That
+layout is ideal for balanced cohorts but collapses under the paper's
+power-law device heterogeneity: one dominant client with budget
+``t_max = max_k T_k`` forces a ``(t_max, K, b_max)`` schedule tensor whose
+later steps are almost entirely padding, and the stacked buffers stay
+K-wide even when the mean active width ``sum_k T_k / t_max`` is close to 1.
+
+Two facts bound what any scheduler can do for a single cohort:
+
+* Each client's chain of local steps is strictly sequential (step ``s+1``
+  starts from the iterate step ``s`` produced), so ``t_max`` kernel calls
+  is a hard floor — no interleaving shortens the dominant chain.
+* Total row-work ``sum_k T_k`` is schedule-invariant.
+
+What *is* schedulable is the buffer width: this module bin-packs the K
+chains into ``L <= K`` **lanes** of capacity ``t_max`` (first-fit
+decreasing), running multiple short chains back-to-back in one lane.  The
+kernel then operates on ``(t_max, L, b_max)`` tensors and an ``(L, d)``
+weight stack — under heavy skew ``L`` approaches ``ceil(sum T_k / t_max)``,
+the information-theoretic minimum, shrinking the gather plan, the packed
+schedule tensors, and every per-step kernel's width.
+
+Lanes are ordered by descending total load, so the busy lane set at any
+step is a *prefix* — the kernel loop keeps the zero-copy ``W[:A]`` slicing
+of the original design.  Time decomposes into **segments** between chain
+start/end boundaries: within a segment the active width is constant and
+each active lane advances one fixed chain, so per-step work is one stacked
+gradient + one solver step, with per-row local step indices supplied to
+step-dependent solvers (Adam) when lanes sit at different chain offsets.
+
+``pack_efficiency`` is the achieved-versus-ideal width ratio
+``sum_k T_k / (t_max * L)``: the mean kernel width actually used divided
+by the lane width allocated.  The legacy one-client-per-row layout scores
+``sum_k T_k / (t_max * K)``; FFD packing pushes the gauge toward 1.0 under
+skew and degenerates *exactly* to the legacy prefix schedule for balanced
+cohorts (every chain fills a fresh lane, stable sort preserves order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One client chain's slot in the packed schedule.
+
+    ``task`` indexes the cohort's task list; the chain occupies global
+    steps ``[start, stop)`` of lane ``lane`` (``stop - start`` equals the
+    chain's batch budget).
+    """
+
+    task: int
+    lane: int
+    start: int
+    stop: int
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of global steps with a constant busy-lane prefix.
+
+    Attributes
+    ----------
+    lo, hi:
+        Global step range ``[lo, hi)``.
+    width:
+        Number of busy lanes — always the prefix ``lanes[0:width]``.
+    base_steps:
+        ``(width,)`` int64: each active lane's 1-based *local* chain step
+        at global step ``lo`` (local step at ``lo + s`` is
+        ``base_steps + s``).
+    uniform:
+        True when every active lane sits at the same local offset, letting
+        the kernel pass a plain ``int`` step to the solver (the exact
+        scalar-compatible code path).
+    starts:
+        Placements whose chain begins at ``lo`` (lane initialization —
+        load the task's ``w_t``, µ, correction; reset solver state).
+    ends:
+        Placements whose chain finishes at ``hi`` (copy the lane's row out
+        as that task's local iterate).
+    """
+
+    lo: int
+    hi: int
+    width: int
+    base_steps: np.ndarray
+    uniform: bool
+    starts: Tuple[Placement, ...]
+    ends: Tuple[Placement, ...]
+
+
+@dataclass(frozen=True)
+class CohortPlan:
+    """Full packed schedule for one cohort solve."""
+
+    budgets: Tuple[int, ...]
+    t_max: int
+    n_lanes: int
+    lane_loads: Tuple[int, ...]
+    placements: Tuple[Placement, ...]
+    segments: Tuple[Segment, ...]
+    pack_efficiency: float
+
+    @property
+    def ideal_width(self) -> float:
+        """Mean busy width ``sum(T_k) / t_max`` — the packing lower bound."""
+        return sum(self.budgets) / self.t_max
+
+
+def plan_cohort(budgets: Sequence[int]) -> CohortPlan:
+    """Pack client chains into lanes and segment the step axis.
+
+    Deterministic: first-fit decreasing over chains sorted by descending
+    budget (stable — ties keep task order), lanes scanned in creation
+    order, then reordered by descending total load (stable).  For balanced
+    budgets every chain opens its own lane and the plan reproduces the
+    legacy budget-sorted shrinking-prefix schedule exactly.
+    """
+    K = len(budgets)
+    if K == 0:
+        raise ValueError("cannot plan an empty cohort")
+    budgets = tuple(int(b) for b in budgets)
+    if any(b <= 0 for b in budgets):
+        raise ValueError("every chain budget must be positive")
+    t_max = max(budgets)
+
+    # First-fit decreasing with capacity t_max.  The longest chain fills
+    # lane 0 exactly; each later chain lands in the first lane with room.
+    order = sorted(range(K), key=lambda i: -budgets[i])
+    lane_loads: List[int] = []
+    lane_chains: List[List[int]] = []
+    for i in order:
+        b = budgets[i]
+        for lane, load in enumerate(lane_loads):
+            if load + b <= t_max:
+                lane_chains[lane].append(i)
+                lane_loads[lane] += b
+                break
+        else:
+            lane_chains.append([i])
+            lane_loads.append(b)
+
+    # Busy-prefix invariant: order lanes by descending load (stable), so
+    # lane l is busy at step t iff load_l > t iff l < width(t).
+    lane_order = sorted(
+        range(len(lane_loads)), key=lambda l: -lane_loads[l]
+    )
+    lane_loads = [lane_loads[l] for l in lane_order]
+    lane_chains = [lane_chains[l] for l in lane_order]
+    n_lanes = len(lane_loads)
+
+    placements: List[Placement] = []
+    for lane, chains in enumerate(lane_chains):
+        start = 0
+        for i in chains:
+            stop = start + budgets[i]
+            placements.append(Placement(task=i, lane=lane, start=start, stop=stop))
+            start = stop
+    placements.sort(key=lambda p: (p.lane, p.start))
+
+    # Segment boundaries: every chain start/stop (all stops <= t_max).
+    bounds = sorted({0, t_max} | {p.start for p in placements}
+                    | {p.stop for p in placements})
+    # Active placement per (lane, step) resolves by scanning each lane's
+    # placements in order; per-lane pointers avoid quadratic rescans.
+    by_lane: List[List[Placement]] = [[] for _ in range(n_lanes)]
+    for p in placements:
+        by_lane[p.lane].append(p)
+    cursor = [0] * n_lanes
+
+    segments: List[Segment] = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        width = sum(1 for load in lane_loads if load > lo)
+        base = np.empty(width, dtype=np.int64)
+        starts: List[Placement] = []
+        ends: List[Placement] = []
+        for lane in range(width):
+            chain = by_lane[lane]
+            while chain[cursor[lane]].stop <= lo:
+                cursor[lane] += 1
+            p = chain[cursor[lane]]
+            base[lane] = lo - p.start + 1
+            if p.start == lo:
+                starts.append(p)
+            if p.stop == hi:
+                ends.append(p)
+        uniform = bool(width) and bool(np.all(base == base[0]))
+        segments.append(
+            Segment(
+                lo=lo,
+                hi=hi,
+                width=width,
+                base_steps=base,
+                uniform=uniform,
+                starts=tuple(starts),
+                ends=tuple(ends),
+            )
+        )
+
+    total = sum(budgets)
+    return CohortPlan(
+        budgets=budgets,
+        t_max=t_max,
+        n_lanes=n_lanes,
+        lane_loads=tuple(lane_loads),
+        placements=tuple(placements),
+        segments=tuple(segments),
+        pack_efficiency=total / (t_max * n_lanes),
+    )

@@ -7,6 +7,7 @@ from .trace import DeviceRoundTrace, RoundTimeline, trace_round
 from .stragglers import (
     FractionStragglers,
     NoHeterogeneity,
+    PowerLawStragglers,
     SystemsModel,
     WorkAssignment,
     entropy_rng,
@@ -18,6 +19,7 @@ __all__ = [
     "WorkAssignment",
     "NoHeterogeneity",
     "FractionStragglers",
+    "PowerLawStragglers",
     "ClockDrivenSystems",
     "DeviceProfile",
     "sample_fleet",

@@ -139,3 +139,59 @@ class FractionStragglers(SystemsModel):
                     )
                 )
         return assignments
+
+
+class PowerLawStragglers(SystemsModel):
+    """Power-law work budgets: the dominant-straggler skew regime.
+
+    Every selected device draws ``epochs = E * u**alpha`` with
+    ``u ~ U(0, 1)``, so budgets follow a power law whose skew grows with
+    ``alpha``: at ``alpha = 0`` the federation is homogeneous, while large
+    ``alpha`` produces cohorts where most devices finish a sliver of an
+    epoch and an occasional near-full-budget device dominates —
+    ``sum_k T_k / max_k T_k -> 1``, the regime that starves the stacked
+    cohort kernel of width and that the skew-aware packing planner exists
+    for (``scripts/bench_runtime.py --skew``).
+
+    Each draw derives from ``(seed, round, client)`` entropy alone, so
+    budgets are a pure per-device function — identical across executors,
+    processes, and evaluation order, like every other environment draw.
+
+    Parameters
+    ----------
+    alpha:
+        Power-law exponent (``>= 0``); higher means heavier skew.
+    seed:
+        Base seed for the budget draws.
+    """
+
+    def __init__(self, alpha: float, seed: int = 0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = float(alpha)
+        self.seed = int(seed)
+
+    def assign(
+        self, round_idx: int, client_ids: Sequence[int], max_epochs: float
+    ) -> List[WorkAssignment]:
+        assignments: List[WorkAssignment] = []
+        for client in client_ids:
+            if self.alpha == 0.0:
+                assignments.append(
+                    WorkAssignment(
+                        client_id=client,
+                        epochs=float(max_epochs),
+                        is_straggler=False,
+                    )
+                )
+                continue
+            u = float(entropy_rng(self.seed, round_idx, client).random())
+            epochs = float(max_epochs) * u**self.alpha
+            assignments.append(
+                WorkAssignment(
+                    client_id=client,
+                    epochs=epochs,
+                    is_straggler=epochs < max_epochs,
+                )
+            )
+        return assignments

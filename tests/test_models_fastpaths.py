@@ -104,9 +104,15 @@ class TestCapabilityGating:
         caps = _char_model().fast_path_capabilities()
         assert caps == {
             "stacked_eval": True,
-            "stacked_local_solve": False,
+            "stacked_local_solve": True,
+            "stacked_local_solve_reason": None,
             "eval_block_rows": SEQ_EVAL_BLOCK_ROWS,
         }
+
+    def test_capability_summary_graph_backend(self):
+        caps = _char_model(backend="graph").fast_path_capabilities()
+        assert caps["stacked_local_solve"] is False
+        assert "gradcheck oracle" in caps["stacked_local_solve_reason"]
 
 
 def _stacked_vs_per_client(dataset, model, w):

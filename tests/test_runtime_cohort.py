@@ -23,7 +23,8 @@ from repro.optim import (
     SGDSolver,
 )
 from repro.runtime import CohortExecutor, SerialExecutor, make_executor
-from repro.systems import FractionStragglers
+from repro.runtime.packing import plan_cohort
+from repro.systems import FractionStragglers, PowerLawStragglers
 
 TOL = 1e-12
 ROUNDS = 3
@@ -87,6 +88,116 @@ def synthetic_10():
 @pytest.fixture(scope="module")
 def synthetic_100():
     return make_synthetic(1.0, 1.0, num_devices=100, seed=0)
+
+
+class TestPackingPlanner:
+    """Unit coverage for the skew-aware FFD lane packer."""
+
+    def test_skewed_budgets_pack_into_fewer_lanes(self):
+        plan = plan_cohort([10, 4, 3])
+        assert plan.t_max == 10
+        assert plan.n_lanes == 2
+        assert plan.lane_loads == (10, 7)
+        # Lane 0: the dominant chain; lane 1: the two short chains
+        # back-to-back in FFD order.
+        assert [(p.task, p.lane, p.start, p.stop) for p in plan.placements] == [
+            (0, 0, 0, 10), (1, 1, 0, 4), (2, 1, 4, 7),
+        ]
+        assert plan.pack_efficiency == pytest.approx(17 / 20)
+        assert plan.ideal_width == pytest.approx(1.7)
+
+    def test_skewed_budget_segments(self):
+        plan = plan_cohort([10, 4, 3])
+        segs = [(s.lo, s.hi, s.width, s.uniform) for s in plan.segments]
+        assert segs == [(0, 4, 2, True), (4, 7, 2, False), (7, 10, 1, True)]
+        # The mid segment packs chain 2 behind chain 1, so lane 1 restarts
+        # its local step count while lane 0 continues.
+        mid = plan.segments[1]
+        assert mid.base_steps.tolist() == [5, 1]
+        assert [p.task for p in mid.starts] == [2]
+        assert [p.task for p in plan.segments[1].ends] == [2]
+        assert [p.task for p in plan.segments[2].ends] == [0]
+
+    def test_balanced_cohort_degenerates_to_legacy_prefix(self):
+        plan = plan_cohort([5, 5, 5])
+        assert plan.n_lanes == 3
+        assert plan.lane_loads == (5, 5, 5)
+        # One chain per lane, in task order (stable sort), one uniform
+        # segment — exactly the legacy one-client-per-row schedule.
+        assert [(p.task, p.lane) for p in plan.placements] == [(0, 0), (1, 1), (2, 2)]
+        assert len(plan.segments) == 1
+        seg = plan.segments[0]
+        assert (seg.lo, seg.hi, seg.width, seg.uniform) == (0, 5, 3, True)
+        assert seg.base_steps.tolist() == [1, 1, 1]
+        assert plan.pack_efficiency == pytest.approx(1.0)
+
+    def test_every_chain_starts_and_ends_exactly_once(self):
+        budgets = [13, 1, 7, 2, 13, 5, 1, 4, 9, 3]
+        plan = plan_cohort(budgets)
+        started = sorted(p.task for s in plan.segments for p in s.starts)
+        ended = sorted(p.task for s in plan.segments for p in s.ends)
+        assert started == ended == list(range(len(budgets)))
+        # Work is schedule-invariant and lanes never exceed capacity.
+        assert sum(p.stop - p.start for p in plan.placements) == sum(budgets)
+        assert all(load <= plan.t_max for load in plan.lane_loads)
+        # Segments tile [0, t_max) and base_steps advance chains correctly.
+        assert plan.segments[0].lo == 0
+        assert plan.segments[-1].hi == plan.t_max
+        for s1, s2 in zip(plan.segments, plan.segments[1:]):
+            assert s1.hi == s2.lo
+        for seg in plan.segments:
+            for lane in range(seg.width):
+                p = next(
+                    p for p in plan.placements
+                    if p.lane == lane and p.start <= seg.lo < p.stop
+                )
+                assert seg.base_steps[lane] == seg.lo - p.start + 1
+
+    def test_busy_width_is_a_prefix_at_every_step(self):
+        plan = plan_cohort([6, 6, 3, 2, 1, 1])
+        for seg in plan.segments:
+            for t in range(seg.lo, seg.hi):
+                busy = {p.lane for p in plan.placements if p.start <= t < p.stop}
+                assert busy == set(range(seg.width))
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="empty"):
+            plan_cohort([])
+        with pytest.raises(ValueError, match="positive"):
+            plan_cohort([3, 0])
+
+
+class TestPackEfficiencyGauge:
+    def test_gauge_emitted_per_round(self, synthetic_10):
+        from repro.telemetry import InMemorySink, Telemetry
+
+        sink = InMemorySink()
+        telemetry = Telemetry([sink])
+        model = MultinomialLogisticRegression(dim=60, num_classes=10)
+        trainer = FederatedTrainer(
+            dataset=synthetic_10,
+            model=model,
+            solver=SGDSolver(0.01, batch_size=10),
+            mu=0.1,
+            clients_per_round=4,
+            epochs=2.0,
+            systems=PowerLawStragglers(2.0, seed=3),
+            seed=1,
+            executor=CohortExecutor(),
+            telemetry=telemetry,
+        )
+        try:
+            trainer.run(ROUNDS)
+        finally:
+            trainer.close()
+        gauges = sink.metrics("cohort.pack_efficiency")
+        assert len(gauges) == ROUNDS
+        for g in gauges:
+            assert 0.0 < g["value"] <= 1.0
+            assert g["lanes"] <= g["clients"]
+            # Packing never does worse than the legacy K-wide layout.
+            legacy = g["ideal_width"] / g["clients"]
+            assert g["value"] >= legacy - 1e-12
 
 
 class TestCohortMatchesSerial:
@@ -169,6 +280,74 @@ class TestGammaInexactnessAcrossSettings:
             assert u1.gradient_evaluations == u2.gradient_evaluations
             assert abs(u1.gamma - u2.gamma) <= TOL
             np.testing.assert_allclose(u1.w, u2.w, rtol=0, atol=TOL)
+
+
+class TestSkewedBudgetGrids:
+    """Satellite: packed multi-chain lanes replay serial under power-law skew.
+
+    ``PowerLawStragglers`` makes budgets heavy-tailed, so lanes run several
+    client chains back-to-back and segments mix per-row local steps — the
+    exact machinery the packing planner added.  Histories (including γ per
+    client) must still match the serial path.
+    """
+
+    @pytest.mark.parametrize("mu", [0.0, 1.0])
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, 3.0])
+    def test_history_parity_across_skew(self, synthetic_10, mu, alpha):
+        def run(executor):
+            trainer = FederatedTrainer(
+                dataset=synthetic_10,
+                model=MultinomialLogisticRegression(dim=60, num_classes=10),
+                solver=SGDSolver(0.01, batch_size=10),
+                mu=mu,
+                clients_per_round=5,
+                epochs=3.0,
+                systems=PowerLawStragglers(alpha, seed=3),
+                track_gamma=True,
+                seed=1,
+                executor=executor,
+            )
+            try:
+                return trainer.run(ROUNDS)
+            finally:
+                trainer.close()
+
+        _assert_histories_match(run(SerialExecutor()), run(CohortExecutor()))
+
+    @pytest.mark.parametrize(
+        "solver_factory",
+        [
+            lambda: MomentumSGDSolver(0.01, momentum=0.9, batch_size=10),
+            lambda: AdamSolver(0.005, batch_size=10),
+        ],
+        ids=["momentum", "adam"],
+    )
+    def test_stateful_solvers_on_packed_lanes(self, synthetic_10, solver_factory):
+        """Solver state resets cleanly when a lane starts a new chain.
+
+        Adam additionally exercises the per-row bias-correction step
+        indices that mixed-offset segments feed through ``stacked_step``.
+        """
+
+        def run(executor):
+            trainer = FederatedTrainer(
+                dataset=synthetic_10,
+                model=MultinomialLogisticRegression(dim=60, num_classes=10),
+                solver=solver_factory(),
+                mu=0.1,
+                clients_per_round=5,
+                epochs=3.0,
+                systems=PowerLawStragglers(2.0, seed=7),
+                track_gamma=True,
+                seed=2,
+                executor=executor,
+            )
+            try:
+                return trainer.run(ROUNDS)
+            finally:
+                trainer.close()
+
+        _assert_histories_match(run(SerialExecutor()), run(CohortExecutor()))
 
 
 class TestOtherSolversOnCohortPath:

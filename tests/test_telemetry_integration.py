@@ -213,7 +213,9 @@ class TestExecutorParity:
             if e["name"] == "round" or e["name"].startswith("phase:")
         ]
         metrics = [
-            (e["name"], e["kind"], e["round"]) for e in sink.metrics()
+            (e["name"], e["kind"], e["round"])
+            for e in sink.metrics()
+            if not e["name"].startswith("cohort.")
         ]
         return spans, metrics
 
@@ -231,6 +233,11 @@ class TestExecutorParity:
                 range(ROUNDS)
             ), name
             assert not s_serial.spans(name)
+        # ...and its per-round packing-efficiency gauge
+        gauges = s_cohort.metrics("cohort.pack_efficiency")
+        assert [e["round"] for e in gauges] == list(range(ROUNDS))
+        assert all(0.0 < e["value"] <= 1.0 for e in gauges)
+        assert not s_serial.metrics("cohort.pack_efficiency")
 
     @pytest.mark.slow
     def test_parallel_same_schema_and_history(self, dataset):
