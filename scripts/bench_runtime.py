@@ -426,8 +426,14 @@ def check_smoke(payload: dict) -> None:
 
 
 def check_artifact(path: str) -> None:
-    """Sanity-check the emitted JSONL artifact (one manifest per mode)."""
-    from repro.telemetry import read_jsonl
+    """Sanity-check the emitted JSONL artifact (one manifest per mode).
+
+    Beyond the historical structural checks, every chained run must now
+    carry a complete ledger: round records for every timed round, a
+    ``run_footer``, and a history digest that recomputes identically
+    (``verify_artifact`` reports truncation and tampering).
+    """
+    from repro.telemetry import load_runs, read_jsonl, verify_artifact
 
     events = read_jsonl(path)
     assert events, f"{path} is empty"
@@ -437,6 +443,11 @@ def check_artifact(path: str) -> None:
     assert events[0]["type"] == "manifest", "manifest must lead the artifact"
     labels = {m["label"] for m in manifests}
     assert labels == {f"bench-{mode}" for mode in MODES}, labels
+    for run in load_runs(path):
+        issues = verify_artifact(run)
+        assert not issues, f"{run.label}: ledger issues {issues}"
+        assert run.footer is not None, f"{run.label}: missing run_footer"
+        assert run.recorded_digest() == run.computed_digest()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -31,6 +31,7 @@ from ..systems.costs import CostTracker
 from ..systems.stragglers import (
     FractionStragglers,
     NoHeterogeneity,
+    PowerLawStragglers,
     SystemsModel,
 )
 from .adaptive_mu import AdaptiveMuController
@@ -140,6 +141,32 @@ def _describe_object(value: Any) -> Any:
             "fraction": value.fraction,
             "seed": value.seed,
         }
+    if isinstance(value, PowerLawStragglers):
+        return {
+            "type": "PowerLawStragglers",
+            "alpha": value.alpha,
+            "seed": value.seed,
+        }
+    if isinstance(value, AdaptiveMuController):
+        # Describes the controller's *construction*: at manifest-emission
+        # time (before round 0) ``value.mu`` still equals initial_mu, so
+        # the description rebuilds an identical fresh controller.
+        return {
+            "type": "AdaptiveMuController",
+            "initial_mu": value.mu,
+            "step": value.step,
+            "patience": value.patience,
+            "mu_min": value.mu_min,
+            "mu_max": value.mu_max,
+        }
+    if isinstance(value, SamplingScheme):
+        # Reconstruction needs the live dataset; the replay layer rebuilds
+        # the scheme from this spec after reconstructing the federation.
+        return {
+            "type": type(value).__name__,
+            "clients_per_round": value.clients_per_round,
+            "seed": value.seed,
+        }
     return {"type": type(value).__name__}
 
 
@@ -157,6 +184,16 @@ def _restore_object(section: str, name: str, value: Any) -> Any:
         return NoHeterogeneity()
     if kind == "FractionStragglers":
         return FractionStragglers(**spec)
+    if kind == "PowerLawStragglers":
+        return PowerLawStragglers(**spec)
+    if kind == "AdaptiveMuController":
+        return AdaptiveMuController(**spec)
+    if name == "sampling":
+        raise ValueError(
+            f"cannot reconstruct {section}.{name} from {value!r}: sampling "
+            "schemes bind to a live dataset — rebuild the federation first "
+            "and pass the scheme object (repro.telemetry.replay does this)"
+        )
     raise ValueError(
         f"cannot reconstruct {section}.{name} from {value!r}; pass the "
         "object directly instead of a dict description"

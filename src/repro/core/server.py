@@ -42,7 +42,14 @@ from ..runtime.executor import LocalTask, RoundExecutor, SerialExecutor
 from ..runtime.sampled import SampledEvaluator
 from ..systems.costs import CostTracker
 from ..systems.stragglers import NoHeterogeneity, SystemsModel
-from ..telemetry import MetricsRegistry, peak_rss_bytes, resolve_telemetry
+from ..telemetry import (
+    DIGEST_ALGORITHM,
+    HistoryDigest,
+    MetricsRegistry,
+    environment_info,
+    peak_rss_bytes,
+    resolve_telemetry,
+)
 from .adaptive_mu import AdaptiveMuController
 from .callbacks import Callback
 from .client import Client, ClientPool, ClientUpdate
@@ -267,6 +274,11 @@ class FederatedTrainer:
                 f"eval must be 'full' or 'sampled', got {eval!r}"
             )
         self.eval_strategy = eval
+        # Stored even under eval="full" so the run-ledger manifest always
+        # carries the complete evaluation configuration.
+        self.eval_sample_size = int(eval_sample_size)
+        self.eval_strata = int(eval_strata)
+        self.eval_full_every = int(eval_full_every)
         if eval_train_every < 1:
             raise ValueError("eval_train_every must be at least 1")
         self.eval_train_every = int(eval_train_every)
@@ -335,6 +347,16 @@ class FederatedTrainer:
         self._closed = False
         self._manifest_emitted = False
         self._last_dissimilarity: Optional[DissimilarityReport] = None
+        # Run-ledger state (telemetry-enabled runs only).  Round records
+        # are *deferred*: run() may still mutate the last record via
+        # _ensure_final_evaluation, so records queue in _ledger_pending and
+        # are canonicalized + digested + emitted only at end-of-run (or at
+        # close, whichever comes first).
+        self._ledger_digest = HistoryDigest()
+        self._ledger_pending: List[RoundRecord] = []
+        self._ledger_wall = 0.0
+        self._ledger_last: Optional[dict] = None
+        self._footer_emitted = False
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -414,7 +436,65 @@ class FederatedTrainer:
             executor=self.executor_mode,
             eval_mode=self.eval_mode,
             config=config,
+            trainer_config=self._ledger_trainer_config(),
+            recipe=self._ledger_recipe(),
+            environment=environment_info(),
         )
+
+    def _ledger_trainer_config(self) -> dict:
+        """This trainer's live configuration as a serialized TrainerConfig.
+
+        Built from the trainer's *current* attributes rather than any
+        config object it may have been constructed from, so the flat-kwargs
+        construction path serializes identically.  Emitted before round 0,
+        while ``self.mu`` (and any adaptive-µ controller) still hold their
+        initial values — the reconstructed trainer starts from the same
+        state.
+        """
+        config = TrainerConfig.from_kwargs(
+            mu=self.mu,
+            epochs=self.epochs,
+            drop_stragglers=self.drop_stragglers,
+            mu_controller=self.mu_controller,
+            clients_per_round=self.sampling.clients_per_round,
+            sampling=self.sampling,
+            systems=self.systems,
+            faults=self.faults if self.faults.enabled else None,
+            fault_policy=self.fault_policy if self.faults.enabled else None,
+            eval_every=self.eval_every,
+            eval_test=self.eval_test,
+            eval_mode=self.eval_mode,
+            eval=self.eval_strategy,
+            eval_sample_size=self.eval_sample_size,
+            eval_strata=self.eval_strata,
+            eval_full_every=self.eval_full_every,
+            eval_train_every=self.eval_train_every,
+            track_dissimilarity=self.track_dissimilarity,
+            track_gamma=self.track_gamma,
+            dissimilarity_max_clients=self.dissimilarity_max_clients,
+            telemetry=None,
+            cost_tracker=None,
+            seed=self.seed,
+            executor=self.executor_mode,
+            label=self.label,
+        )
+        return config.to_dict()
+
+    def _ledger_recipe(self) -> dict:
+        """Dataset/model/solver reconstruction descriptors for the ledger.
+
+        The dataset recipe is ``None`` for federations not built from a
+        seeded builder — replay then requires the caller to supply the
+        dataset, which ``repro.trace replay`` reports explicitly.
+        """
+        return {
+            "trainer": type(self).__name__,
+            "dataset": getattr(self.dataset, "recipe", None),
+            "dataset_name": self.dataset.name,
+            "num_devices": self.dataset.num_devices,
+            "model": self.model.spec(),
+            "solver": self.solver.spec(),
+        }
 
     def _batch_entropy(
         self, round_idx: int, client_id: int, occurrence: int
@@ -599,15 +679,18 @@ class FederatedTrainer:
             self.mu = self.mu_controller.update(record.train_loss)
 
         if telemetry.enabled:
+            round_wall = time.perf_counter() - t_round
+            self._ledger_wall += round_wall
             telemetry.record_span(
                 "round",
-                time.perf_counter() - t_round,
+                round_wall,
                 round_idx=round_idx,
                 clients=len(selected),
                 stragglers=len(stragglers),
                 dropped=len(dropped),
             )
             self._emit_round_diagnostics(round_idx, w_start, updates, record)
+            self._ledger_pending.append(record)
 
         self._round += 1
         return record
@@ -714,6 +797,7 @@ class FederatedTrainer:
         self._ensure_final_evaluation(history)
         for cb in self.callbacks:
             cb.on_train_end(history)
+        self._flush_ledger_events()
         self.telemetry.flush()
         return history
 
@@ -770,16 +854,53 @@ class FederatedTrainer:
             return FaultStats().as_dict()
         return self._fault_manager.stats.as_dict()
 
+    def _flush_ledger_events(self) -> None:
+        """Canonicalize, digest, and emit the queued round records."""
+        if not self.telemetry.enabled:
+            return
+        for record in self._ledger_pending:
+            canonical = self._ledger_digest.update(record)
+            self.telemetry.round_record(record.round_idx, canonical)
+            self._ledger_last = canonical
+        self._ledger_pending = []
+
+    def _emit_run_footer_once(self) -> None:
+        """Seal the run artifact: emit the digest-bearing run footer.
+
+        Emitted at most once, at :meth:`close`, and only for runs whose
+        manifest actually went out — an artifact's footer is its
+        end-of-file marker, so readers treat its absence as truncation.
+        """
+        if (
+            self._footer_emitted
+            or not self._manifest_emitted
+            or not self.telemetry.enabled
+        ):
+            return
+        self._footer_emitted = True
+        self._flush_ledger_events()
+        last = self._ledger_last or {}
+        self.telemetry.run_footer(
+            rounds=self._ledger_digest.rounds,
+            wall_seconds=self._ledger_wall,
+            digest=self._ledger_digest.hexdigest(),
+            algorithm=DIGEST_ALGORITHM,
+            final_train_loss=last.get("train_loss"),
+            final_test_accuracy=last.get("test_accuracy"),
+        )
+
     def close(self) -> None:
         """Release executor resources and flush telemetry; idempotent.
 
         Safe to call any number of times (and after ``with`` exit): the
-        executor's own ``close`` is idempotent, and the telemetry sinks
-        are flushed and closed exactly once.
+        executor's own ``close`` is idempotent, the run footer is emitted
+        at most once, and the telemetry sinks are flushed and closed
+        exactly once.
         """
         self.executor.close()
         if not self._closed:
             self._closed = True
+            self._emit_run_footer_once()
             self.telemetry.close()
 
     def __enter__(self) -> "FederatedTrainer":

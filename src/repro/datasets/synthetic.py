@@ -82,6 +82,9 @@ def make_synthetic(
     """
     if alpha < 0 or beta < 0:
         raise ValueError("alpha and beta must be non-negative")
+    # A caller-owned rng makes the output depend on that rng's prior
+    # consumption — only the pure-seed path gets a reconstruction recipe.
+    seeded = rng is None
     rng = rng if rng is not None else np.random.default_rng(seed)
     sizes = lognormal_sizes(
         rng, num_devices, minimum=min_samples, cap=size_cap
@@ -103,11 +106,25 @@ def make_synthetic(
             train_test_split_client(k, X, y, rng, test_fraction=test_fraction)
         )
 
+    recipe = None
+    if seeded:
+        recipe = {
+            "builder": "make_synthetic",
+            "alpha": float(alpha),
+            "beta": float(beta),
+            "num_devices": int(num_devices),
+            "seed": int(seed),
+            "test_fraction": float(test_fraction),
+            "size_cap": size_cap,
+            "min_samples": int(min_samples),
+            "name": name,
+        }
     return FederatedDataset(
         name=name or f"Synthetic({alpha:g},{beta:g})",
         clients=clients,
         num_classes=NUM_CLASSES,
         input_dim=NUM_FEATURES,
+        recipe=recipe,
     )
 
 
@@ -120,6 +137,7 @@ def make_synthetic_iid(
     min_samples: int = 50,
 ) -> FederatedDataset:
     """Generate ``Synthetic-IID``: one shared model, one shared input law."""
+    seeded = rng is None
     rng = rng if rng is not None else np.random.default_rng(seed)
     sizes = lognormal_sizes(rng, num_devices, minimum=min_samples, cap=size_cap)
     cov_diag = _input_covariance_diag()
@@ -136,11 +154,22 @@ def make_synthetic_iid(
             train_test_split_client(k, X, y, rng, test_fraction=test_fraction)
         )
 
+    recipe = None
+    if seeded:
+        recipe = {
+            "builder": "make_synthetic_iid",
+            "num_devices": int(num_devices),
+            "seed": int(seed),
+            "test_fraction": float(test_fraction),
+            "size_cap": size_cap,
+            "min_samples": int(min_samples),
+        }
     return FederatedDataset(
         name="Synthetic-IID",
         clients=clients,
         num_classes=NUM_CLASSES,
         input_dim=NUM_FEATURES,
+        recipe=recipe,
     )
 
 

@@ -87,6 +87,7 @@ def make_shakespeare_like(
     """
     if not 0.0 <= dialect_weight <= 1.0:
         raise ValueError("dialect_weight must be in [0, 1]")
+    seeded = rng is None
     rng = rng if rng is not None else np.random.default_rng(seed)
     shared = _random_stochastic_matrix(rng, vocab_size)
 
@@ -107,8 +108,22 @@ def make_shakespeare_like(
             train_test_split_client(k, windows, labels, rng, test_fraction=test_fraction)
         )
 
+    recipe = None
+    if seeded:
+        recipe = {
+            "builder": "make_shakespeare_like",
+            "num_devices": int(num_devices),
+            "vocab_size": int(vocab_size),
+            "seq_len": int(seq_len),
+            "samples_per_device_mean": float(samples_per_device_mean),
+            "dialect_weight": float(dialect_weight),
+            "seed": int(seed),
+            "test_fraction": float(test_fraction),
+            "name": name,
+        }
     return FederatedDataset(
-        name=name, clients=clients, num_classes=vocab_size, input_dim=seq_len
+        name=name, clients=clients, num_classes=vocab_size, input_dim=seq_len,
+        recipe=recipe,
     )
 
 
@@ -149,6 +164,7 @@ def make_sent140_like(
     """
     if vocab_size < 16:
         raise ValueError("vocab_size too small to carve out sentiment lexicons")
+    seeded = rng is None
     rng = rng if rng is not None else np.random.default_rng(seed)
 
     eighth = vocab_size // 8
@@ -180,6 +196,22 @@ def make_sent140_like(
             train_test_split_client(k, X, y, rng, test_fraction=test_fraction)
         )
 
+    recipe = None
+    if seeded:
+        recipe = {
+            "builder": "make_sent140_like",
+            "num_devices": int(num_devices),
+            "vocab_size": int(vocab_size),
+            "seq_len": int(seq_len),
+            "samples_per_device_mean": float(samples_per_device_mean),
+            "samples_per_device_stdev": float(samples_per_device_stdev),
+            "sentiment_strength": float(sentiment_strength),
+            "label_prior_concentration": float(label_prior_concentration),
+            "seed": int(seed),
+            "test_fraction": float(test_fraction),
+            "name": name,
+        }
     return FederatedDataset(
-        name=name, clients=clients, num_classes=2, input_dim=seq_len
+        name=name, clients=clients, num_classes=2, input_dim=seq_len,
+        recipe=recipe,
     )

@@ -209,10 +209,12 @@ def run_methods(
     for spec in methods:
         telemetry = None
         if telemetry_dir is not None:
-            path = os.path.join(
-                telemetry_dir, f"{_method_slug(spec.label)}.jsonl"
-            )
-            telemetry = Telemetry([JSONLSink(path)])
+            slug = _method_slug(spec.label)
+            path = os.path.join(telemetry_dir, f"{slug}.jsonl")
+            # Stable run_id (method slug, not a UUID): re-running the
+            # experiment overwrites the artifact with an identically
+            # identified run, so ledger diffs/replays line up by name.
+            telemetry = Telemetry([JSONLSink(path)], run_id=slug)
         trainer = build_trainer(
             spec,
             workload,

@@ -47,7 +47,13 @@ def load_model_params(path: PathLike, model: FederatedModel) -> None:
 
 
 def history_to_dict(history: TrainingHistory) -> dict:
-    """JSON-serializable representation of a training history."""
+    """JSON-serializable representation of a training history.
+
+    Serializes every :class:`RoundRecord` field — including the
+    sampled-evaluation estimates (``*_ci``, ``eval_sample_size``,
+    ``eval_full``) and the fault-policy ``degraded`` flag — so a saved
+    history round-trips losslessly.
+    """
     return {
         "label": history.label,
         "records": [
@@ -55,6 +61,10 @@ def history_to_dict(history: TrainingHistory) -> dict:
                 "round_idx": r.round_idx,
                 "train_loss": r.train_loss,
                 "test_accuracy": r.test_accuracy,
+                "train_loss_ci": r.train_loss_ci,
+                "accuracy_ci": r.accuracy_ci,
+                "eval_sample_size": r.eval_sample_size,
+                "eval_full": r.eval_full,
                 "dissimilarity": r.dissimilarity,
                 "mu": r.mu,
                 "gamma_mean": r.gamma_mean,
@@ -62,6 +72,7 @@ def history_to_dict(history: TrainingHistory) -> dict:
                 "selected": list(r.selected),
                 "stragglers": list(r.stragglers),
                 "dropped": list(r.dropped),
+                "degraded": r.degraded,
             }
             for r in history.records
         ],
@@ -69,14 +80,25 @@ def history_to_dict(history: TrainingHistory) -> dict:
 
 
 def history_from_dict(payload: dict) -> TrainingHistory:
-    """Inverse of :func:`history_to_dict`."""
+    """Inverse of :func:`history_to_dict`.
+
+    Histories saved by older versions lack the sampled-evaluation and
+    fault fields; those default exactly as a fresh record would
+    (``None``/``False``).  ``train_loss`` may be ``None`` on rounds whose
+    training-loss evaluation was skipped (``eval_train_every`` > 1).
+    """
     history = TrainingHistory(label=payload.get("label", ""))
     for r in payload["records"]:
+        train_loss = r["train_loss"]
         history.append(
             RoundRecord(
                 round_idx=int(r["round_idx"]),
-                train_loss=float(r["train_loss"]),
+                train_loss=None if train_loss is None else float(train_loss),
                 test_accuracy=r.get("test_accuracy"),
+                train_loss_ci=r.get("train_loss_ci"),
+                accuracy_ci=r.get("accuracy_ci"),
+                eval_sample_size=r.get("eval_sample_size"),
+                eval_full=bool(r.get("eval_full", False)),
                 dissimilarity=r.get("dissimilarity"),
                 mu=float(r.get("mu", 0.0)),
                 gamma_mean=r.get("gamma_mean"),
@@ -84,6 +106,7 @@ def history_from_dict(payload: dict) -> TrainingHistory:
                 selected=list(r.get("selected", [])),
                 stragglers=list(r.get("stragglers", [])),
                 dropped=list(r.get("dropped", [])),
+                degraded=bool(r.get("degraded", False)),
             )
         )
     return history

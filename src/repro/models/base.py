@@ -225,6 +225,20 @@ class FederatedModel(abc.ABC):
     def fresh(self) -> "FederatedModel":
         """A new instance with the same architecture (parameters unspecified)."""
 
+    def spec(self) -> dict:
+        """Reconstruction descriptor for run-ledger manifests.
+
+        A JSON-friendly dict whose ``type`` names the class and whose
+        remaining keys are constructor kwargs; the replay layer
+        (:mod:`repro.telemetry.replay`) rebuilds the model as
+        ``ModelClass(**spec_minus_type)``.  The base fallback carries only
+        the type — enough to *identify* the model in an artifact but not
+        to replay it; models meant to be replayable override (or, for
+        :class:`NeuralModel` subclasses, inherit the ``_init_kwargs``-based
+        spec).
+        """
+        return {"type": type(self).__name__}
+
 
 class NeuralModel(FederatedModel):
     """Adapter exposing a :class:`repro.nn.Module` through the flat interface.
@@ -288,6 +302,15 @@ class NeuralModel(FederatedModel):
     def _init_kwargs(self) -> dict:
         """Constructor kwargs used by :meth:`fresh`; subclasses extend."""
         return {"seed": self.seed}
+
+    def spec(self) -> dict:
+        """Reconstruction descriptor: ``fresh()``'s kwargs plus the type.
+
+        ``_init_kwargs`` already captures everything needed to rebuild an
+        identically-initialized architecture (that is :meth:`fresh`'s
+        contract), so the ledger spec rides it for free.
+        """
+        return {"type": type(self).__name__, **self._init_kwargs()}
 
 
 ModelFactory = Callable[[], FederatedModel]

@@ -241,3 +241,13 @@ class MultinomialLogisticRegression(FederatedModel):
             seed=self.seed,
             init_scale=self.init_scale,
         )
+
+    def spec(self) -> dict:
+        return {
+            "type": "MultinomialLogisticRegression",
+            "dim": self.dim,
+            "num_classes": self.num_classes,
+            "l2": self.l2,
+            "seed": self.seed,
+            "init_scale": self.init_scale,
+        }

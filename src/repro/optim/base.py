@@ -212,6 +212,35 @@ class LocalSolver(abc.ABC):
                 tags[attr] = value
         return tags
 
+    #: Attributes the default :meth:`spec` captures; every built-in solver
+    #: stores its constructor args under these names, so the spec doubles
+    #: as constructor kwargs for replay.
+    _SPEC_ATTRS = (
+        "learning_rate",
+        "batch_size",
+        "momentum",
+        "beta1",
+        "beta2",
+        "eps",
+    )
+
+    def spec(self) -> dict:
+        """Reconstruction descriptor for run-ledger manifests.
+
+        ``type`` names the class; the remaining keys are constructor
+        kwargs (the built-in solvers store each constructor argument under
+        its own name, which this default harvests).  The replay layer
+        rebuilds the solver as ``SolverClass(**spec_minus_type)``; solvers
+        with constructor arguments outside :data:`_SPEC_ATTRS` must
+        override.
+        """
+        spec: dict = {"type": type(self).__name__}
+        for attr in self._SPEC_ATTRS:
+            value = getattr(self, attr, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                spec[attr] = value
+        return spec
+
     # Stacked (cohort) solve protocol ------------------------------------ #
     @property
     def supports_stacked_solve(self) -> bool:

@@ -37,6 +37,14 @@ Quickstart::
 Simulated global-clock timelines (:mod:`repro.systems.trace`) convert to
 the same event schema via :func:`emit_timeline` (``clock="simulated"``,
 ``unit="cycles"``).
+
+Schema-2 artifacts are full run *ledgers*: the manifest carries the
+serialized :class:`~repro.core.config.TrainerConfig` plus reconstruction
+recipes, every round appends a canonical ``round_record``, and the file
+ends with a digest-bearing ``run_footer`` (:mod:`repro.telemetry.ledger`).
+:mod:`repro.telemetry.replay` re-executes a run from its artifact and
+asserts bit-identical history; :mod:`repro.telemetry.analysis` and the
+``python -m repro.trace`` CLI summarize, diff, and gate artifacts.
 """
 
 from .core import (
@@ -49,15 +57,33 @@ from .core import (
 from .events import (
     CLOCK_SIMULATED,
     CLOCK_WALL,
+    SCHEMA_COMPAT,
     SCHEMA_VERSION,
     UNIT_CYCLES,
     UNIT_SECONDS,
     manifest_event,
     metric_event,
+    round_record_event,
+    run_footer_event,
     span_event,
     summarize,
 )
+from .ledger import (
+    DIGEST_ALGORITHM,
+    HistoryDigest,
+    RunArtifact,
+    canonical_json,
+    canonical_record,
+    environment_info,
+    history_digest,
+    load_run,
+    load_runs,
+    split_runs,
+    verify_artifact,
+)
+from .analysis import check_runs, diff_runs, summarize_run, timeline
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .replay import ReplayError, ReplayReport, rebuild_trainer, replay_run
 from .resources import current_rss_bytes, peak_rss_bytes
 from .simtime import device_trace_events, emit_timeline, timeline_events
 from .sinks import ConsoleSink, InMemorySink, JSONLSink, Sink, read_jsonl
@@ -80,8 +106,30 @@ __all__ = [
     "manifest_event",
     "span_event",
     "metric_event",
+    "round_record_event",
+    "run_footer_event",
     "summarize",
     "SCHEMA_VERSION",
+    "SCHEMA_COMPAT",
+    "DIGEST_ALGORITHM",
+    "HistoryDigest",
+    "history_digest",
+    "canonical_record",
+    "canonical_json",
+    "environment_info",
+    "RunArtifact",
+    "load_run",
+    "load_runs",
+    "split_runs",
+    "verify_artifact",
+    "ReplayError",
+    "ReplayReport",
+    "rebuild_trainer",
+    "replay_run",
+    "check_runs",
+    "diff_runs",
+    "summarize_run",
+    "timeline",
     "CLOCK_WALL",
     "CLOCK_SIMULATED",
     "UNIT_SECONDS",

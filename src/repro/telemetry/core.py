@@ -31,6 +31,8 @@ from .events import (
     UNIT_SECONDS,
     manifest_event,
     metric_event,
+    round_record_event,
+    run_footer_event,
     span_event,
     summarize,
 )
@@ -130,8 +132,13 @@ class Telemetry:
         executor: str,
         eval_mode: str,
         config: Dict[str, Any],
+        **extra: Any,
     ) -> None:
-        """Emit the run-header event (config + seed + executor mode)."""
+        """Emit the run-header event (config + seed + executor mode).
+
+        ``extra`` carries the schema-2 ledger sections when the emitter
+        provides them (``trainer_config``, ``recipe``, ``environment``).
+        """
         self.emit(
             manifest_event(
                 run_id=self.run_id,
@@ -141,6 +148,32 @@ class Telemetry:
                 eval_mode=eval_mode,
                 config=config,
                 ts=self._now(),
+                **extra,
+            )
+        )
+
+    def round_record(self, round_idx: int, record: Dict[str, Any]) -> None:
+        """Emit one completed round's canonical history record."""
+        self.emit(round_record_event(round_idx, record, ts=self._now()))
+
+    def run_footer(
+        self,
+        rounds: int,
+        wall_seconds: float,
+        digest: str,
+        algorithm: str,
+        **fields: Any,
+    ) -> None:
+        """Emit the run's final event (totals + streaming history digest)."""
+        self.emit(
+            run_footer_event(
+                run_id=self.run_id,
+                rounds=rounds,
+                wall_seconds=wall_seconds,
+                digest=digest,
+                algorithm=algorithm,
+                ts=self._now(),
+                **fields,
             )
         )
 
@@ -256,6 +289,12 @@ class NullTelemetry:
         pass
 
     def manifest(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def round_record(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def run_footer(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def span(self, name: str, round_idx: Optional[int] = None, **attrs: Any):

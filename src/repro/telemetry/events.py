@@ -1,20 +1,35 @@
 """Telemetry event schema: the one wire format every sink receives.
 
 Every event is a flat JSON-serializable ``dict`` with a ``type`` field
-(``"manifest"``, ``"span"``, or ``"metric"``) plus the type's fields below.
-The schema is shared by *all* emitters — the trainer's wall-clock spans,
-worker-side timing payloads reconstructed after the process boundary, the
-cohort executor's stacked-kernel phase splits, and simulated-time
-conversions of :class:`repro.systems.trace.RoundTimeline` — so one sink
-(or one JSONL file) can hold a whole run regardless of which executor
-produced it.
+(``"manifest"``, ``"span"``, ``"metric"``, ``"round_record"``, or
+``"run_footer"``) plus the type's fields below.  The schema is shared by
+*all* emitters — the trainer's wall-clock spans, worker-side timing
+payloads reconstructed after the process boundary, the cohort executor's
+stacked-kernel phase splits, and simulated-time conversions of
+:class:`repro.systems.trace.RoundTimeline` — so one sink (or one JSONL
+file) can hold a whole run regardless of which executor produced it.
+
+Schema versions
+---------------
+Version 2 (current) adds the run-ledger events: the manifest gains
+``trainer_config`` (the serialized frozen
+:class:`~repro.core.config.TrainerConfig`), ``recipe`` (reconstructible
+dataset/model/solver descriptors), and ``environment`` (package version,
+git SHA, platform/CPU info); every round additionally emits a
+``round_record`` event, and the run ends with a ``run_footer`` carrying a
+streaming SHA-256 digest over the canonicalized round history (see
+:mod:`repro.telemetry.ledger`).  Version-1 artifacts stay readable: the
+readers in :mod:`repro.telemetry.ledger` and
+:mod:`repro.telemetry.analysis` treat every v2 addition as optional.
 
 Field reference
 ---------------
 ``manifest`` (exactly one per run, always the first event)
     ``schema`` (int), ``run_id`` (str), ``label``, ``seed``, ``executor``,
     ``eval_mode``, ``clock``, ``unit``, ``config`` (nested dict of the
-    run's configuration: µ, E, K, solver tags, model, dataset).
+    run's configuration: µ, E, K, solver tags, model, dataset).  Schema 2
+    ledger manifests additionally carry ``trainer_config``, ``recipe``,
+    and ``environment``.
 ``span`` (one timed region)
     ``name`` (taxonomy below), ``round`` (int or ``None``), ``duration``
     (float), ``unit`` (``"s"`` wall / ``"cycles"`` simulated), ``clock``
@@ -23,7 +38,18 @@ Field reference
 ``metric`` (one measurement)
     ``name``, ``round``, ``kind`` (``"counter"`` | ``"gauge"`` |
     ``"histogram"``), ``ts``; counters/gauges carry ``value``; histograms
-    carry ``count``/``min``/``max``/``mean``/``p50``/``p90``.
+    carry ``count``/``min``/``max``/``mean``/``p50``/``p90``/``p95``/
+    ``p99``.
+``round_record`` (schema 2; one per completed round)
+    ``round`` (int), ``record`` (the round's canonicalized
+    :class:`~repro.core.history.RoundRecord` — selections, stragglers,
+    losses; see :func:`repro.telemetry.ledger.canonical_record`), ``ts``.
+``run_footer`` (schema 2; the run's final event)
+    ``run_id``, ``rounds`` (int), ``wall_seconds`` (total in-round wall
+    time), ``final_train_loss``, ``final_test_accuracy``, ``digest``
+    (streaming SHA-256 over the canonical round history), ``algorithm``
+    (digest algorithm tag), ``ts``.  A JSONL artifact without its footer
+    is, by construction, evidence of truncation or a crash.
 
 Span taxonomy
 -------------
@@ -77,7 +103,11 @@ from typing import Any, Dict, Optional, Sequence
 import numpy as np
 
 #: Version stamp written into every manifest; bump on breaking changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Manifest schema versions the readers accept (v1 artifacts predate the
+#: run ledger: no round_record/run_footer events, no p95/p99 stats).
+SCHEMA_COMPAT = (1, 2)
 
 #: Clock domains events may come from.
 CLOCK_WALL = "wall"
@@ -87,7 +117,7 @@ CLOCK_SIMULATED = "simulated"
 UNIT_SECONDS = "s"
 UNIT_CYCLES = "cycles"
 
-EVENT_TYPES = ("manifest", "span", "metric")
+EVENT_TYPES = ("manifest", "span", "metric", "round_record", "run_footer")
 METRIC_KINDS = ("counter", "gauge", "histogram")
 
 
@@ -99,9 +129,16 @@ def manifest_event(
     eval_mode: str,
     config: Dict[str, Any],
     ts: float = 0.0,
+    **extra: Any,
 ) -> Dict[str, Any]:
-    """The run-header event (config + seed + executor mode)."""
-    return {
+    """The run-header event (config + seed + executor mode).
+
+    ``extra`` carries the schema-2 ledger fields when the emitter provides
+    them — ``trainer_config`` (serialized frozen TrainerConfig), ``recipe``
+    (dataset/model/solver reconstruction descriptors), ``environment``
+    (package/platform provenance).
+    """
+    event = {
         "type": "manifest",
         "schema": SCHEMA_VERSION,
         "run_id": run_id,
@@ -114,6 +151,57 @@ def manifest_event(
         "ts": float(ts),
         "config": config,
     }
+    event.update(extra)
+    return event
+
+
+def round_record_event(
+    round_idx: int, record: Dict[str, Any], ts: float = 0.0
+) -> Dict[str, Any]:
+    """One completed round's canonical history record (schema 2).
+
+    ``record`` must already be canonical (see
+    :func:`repro.telemetry.ledger.canonical_record`): plain ints/floats/
+    lists with a stable field set, so the event's JSON round-trips
+    bit-exactly and the streaming history digest is well defined.
+    """
+    return {
+        "type": "round_record",
+        "round": int(round_idx),
+        "record": record,
+        "ts": float(ts),
+    }
+
+
+def run_footer_event(
+    run_id: str,
+    rounds: int,
+    wall_seconds: float,
+    digest: str,
+    algorithm: str,
+    final_train_loss: Optional[float] = None,
+    final_test_accuracy: Optional[float] = None,
+    ts: float = 0.0,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """The run's final event: totals + tamper/truncation-evident digest."""
+    event: Dict[str, Any] = {
+        "type": "run_footer",
+        "run_id": run_id,
+        "rounds": int(rounds),
+        "wall_seconds": float(wall_seconds),
+        "final_train_loss": (
+            None if final_train_loss is None else float(final_train_loss)
+        ),
+        "final_test_accuracy": (
+            None if final_test_accuracy is None else float(final_test_accuracy)
+        ),
+        "digest": digest,
+        "algorithm": algorithm,
+        "ts": float(ts),
+    }
+    event.update(extra)
+    return event
 
 
 def span_event(
@@ -161,20 +249,26 @@ def metric_event(
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
-    """Histogram summary statistics (count/min/max/mean/p50/p90).
+    """Histogram summary statistics (count/min/max/mean/p50/p90/p95/p99).
 
-    Empty inputs summarize to a zero count with no other stats, so sinks
-    never receive NaNs.
+    The single percentile computation shared by every histogram consumer —
+    :meth:`~repro.telemetry.metrics.MetricsRegistry` round flushes,
+    ``repro.trace summarize``, and the bench scripts — so tail percentiles
+    are defined one way everywhere.  Empty inputs summarize to a zero
+    count with no other stats, so sinks never receive NaNs.
     """
     arr = np.asarray([v for v in values if v is not None], dtype=np.float64)
     arr = arr[np.isfinite(arr)]
     if arr.size == 0:
         return {"count": 0}
+    p50, p90, p95, p99 = np.percentile(arr, [50, 90, 95, 99])
     return {
         "count": int(arr.size),
         "min": float(arr.min()),
         "max": float(arr.max()),
         "mean": float(arr.mean()),
-        "p50": float(np.percentile(arr, 50)),
-        "p90": float(np.percentile(arr, 90)),
+        "p50": float(p50),
+        "p90": float(p90),
+        "p95": float(p95),
+        "p99": float(p99),
     }

@@ -15,7 +15,9 @@ their latest value each round they are set).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
+
+from .events import summarize
 
 
 class Counter:
@@ -62,6 +64,16 @@ class Histogram:
 
     def observe_many(self, values: Sequence[float]) -> None:
         self.values.extend(float(v) for v in values)
+
+    def summary(self) -> Dict[str, Any]:
+        """Current observations as the shared percentile summary.
+
+        Delegates to :func:`repro.telemetry.events.summarize`, so the
+        p50/p90/p95/p99 a registry histogram reports are byte-for-byte the
+        stats ``repro.trace summarize`` and the bench scripts print —
+        percentiles are defined in exactly one place.
+        """
+        return summarize(self.values)
 
     def reset(self) -> None:
         self.values = []

@@ -17,9 +17,15 @@ from __future__ import annotations
 
 import abc
 import json
+import os
 import sys
 import time
+import warnings
 from typing import Any, Callable, Dict, List, Optional
+
+#: Event types whose arrival marks a round (or run) boundary — the
+#: crash-safety flush points for durable sinks.
+_ROUND_BOUNDARY_TYPES = ("round_record", "run_footer")
 
 
 class Sink(abc.ABC):
@@ -93,6 +99,14 @@ def _json_default(obj: Any) -> Any:
 class JSONLSink(Sink):
     """Write one JSON object per line — the run-artifact backend.
 
+    Crash safety: every round-boundary event (``round_record``,
+    ``run_footer``, and the ``round`` span) forces an OS-level flush, so a
+    crashed run's artifact is complete up to its last finished round with
+    at most one partial trailing line (which :func:`read_jsonl` tolerates
+    and reports).  In atomic mode (the default for fresh files) the sink
+    writes to ``<path>.part`` and renames into place on close, so ``path``
+    either holds a fully finalized artifact or does not exist.
+
     Parameters
     ----------
     path:
@@ -100,27 +114,61 @@ class JSONLSink(Sink):
         constructing a sink that never sees events leaves no empty file.
     append:
         Open in append mode (used by the bench harness to chain several
-        runs' manifests into one artifact); default truncates.
+        runs' manifests into one artifact); default truncates.  Append
+        mode writes to ``path`` directly (atomic finalize would clobber
+        the earlier runs it is appending to).
+    atomic:
+        Write to ``<path>.part`` and ``os.replace`` onto ``path`` at
+        close.  Defaults to ``not append``; explicitly combining
+        ``append=True`` with ``atomic=True`` is an error.
+    flush_per_round:
+        Flush OS buffers at every round boundary (default on; turn off
+        only for benchmarking sink overhead itself).
     """
 
-    def __init__(self, path: str, append: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        append: bool = False,
+        atomic: Optional[bool] = None,
+        flush_per_round: bool = True,
+    ) -> None:
         self.path = str(path)
         self.append = bool(append)
+        if atomic is None:
+            atomic = not self.append
+        if atomic and self.append:
+            raise ValueError(
+                "JSONLSink: atomic=True is incompatible with append=True "
+                "(finalizing would clobber the runs being appended to)"
+            )
+        self.atomic = bool(atomic)
+        self.flush_per_round = bool(flush_per_round)
         self._fh = None
         self._closed = False
         self.lines_written = 0
+
+    @property
+    def write_path(self) -> str:
+        """Where bytes actually land before finalize."""
+        return self.path + ".part" if self.atomic else self.path
 
     def _ensure_open(self) -> None:
         if self._closed:
             raise ValueError(f"JSONLSink({self.path!r}) is closed")
         if self._fh is None:
-            self._fh = open(self.path, "a" if self.append else "w")
+            self._fh = open(self.write_path, "a" if self.append else "w")
 
     def emit(self, event: Dict[str, Any]) -> None:
         self._ensure_open()
         self._fh.write(json.dumps(event, default=_json_default))
         self._fh.write("\n")
         self.lines_written += 1
+        if self.flush_per_round and (
+            event.get("type") in _ROUND_BOUNDARY_TYPES
+            or (event.get("type") == "span" and event.get("name") == "round")
+        ):
+            self._fh.flush()
 
     def flush(self) -> None:
         if self._fh is not None:
@@ -134,16 +182,47 @@ class JSONLSink(Sink):
             self._fh.flush()
             self._fh.close()
             self._fh = None
+            if self.atomic:
+                os.replace(self.write_path, self.path)
 
 
-def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Load a JSONL artifact back into event dicts (blank lines skipped)."""
+def read_jsonl(path: str, strict: bool = False) -> List[Dict[str, Any]]:
+    """Load a JSONL artifact back into event dicts (blank lines skipped).
+
+    A malformed *final* line is the signature of a crashed writer (the
+    process died mid-``write``); by default it is dropped with a
+    :class:`RuntimeWarning` naming the line number, so post-mortem
+    analysis of a crashed run still sees every complete event.  Malformed
+    lines anywhere else — or any malformed line under ``strict=True`` —
+    raise ``ValueError`` with the offending line number.
+    """
     events = []
+    bad: Optional[tuple] = None  # (line_number, message) of a parse failure
     with open(path) as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            if bad is not None:
+                # The earlier failure was mid-file: real corruption.
+                raise ValueError(
+                    f"{path}:{bad[0]}: malformed JSONL line ({bad[1]})"
+                )
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                bad = (lineno, str(exc))
+    if bad is not None:
+        if strict:
+            raise ValueError(
+                f"{path}:{bad[0]}: malformed JSONL line ({bad[1]})"
+            )
+        warnings.warn(
+            f"{path}:{bad[0]}: dropping truncated final line "
+            f"(crashed writer?): {bad[1]}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return events
 
 
@@ -151,8 +230,11 @@ class ConsoleSink(Sink):
     """Throttled one-line-per-event console progress.
 
     Span/metric events are rate-limited to one line per ``min_interval``
-    seconds (manifests always print), so a 1000-round run does not flood
-    the terminal while short runs still show every round.
+    seconds, so a 1000-round run does not flood the terminal while short
+    runs still show every round.  Manifests and run footers bypass the
+    throttle, and the last suppressed event is held back and printed at
+    the footer / on ``flush`` / on ``close`` — so the *final* round of a
+    short run is never silently swallowed by the rate limit.
     """
 
     def __init__(
@@ -167,6 +249,7 @@ class ConsoleSink(Sink):
         self.stream = stream if stream is not None else sys.stderr
         self._clock = clock
         self._last_print = -float("inf")
+        self._pending: Optional[Dict[str, Any]] = None
         self.lines_printed = 0
         self.events_seen = 0
 
@@ -177,9 +260,35 @@ class ConsoleSink(Sink):
                 f"[telemetry] run {event.get('run_id')} "
                 f"{event.get('label')!r} executor={event.get('executor')}"
             )
+        if etype == "run_footer":
+            digest = event.get("digest") or ""
+            loss = event.get("final_train_loss")
+            acc = event.get("final_test_accuracy")
+            parts = [
+                f"[telemetry] run {event.get('run_id')} finished:",
+                f"{event.get('rounds')} rounds",
+                f"in {event.get('wall_seconds'):.4g}s",
+            ]
+            if loss is not None:
+                parts.append(f"loss={loss:.6g}")
+            if acc is not None:
+                parts.append(f"acc={acc:.4g}")
+            if digest:
+                parts.append(f"digest={digest[:12]}…")
+            return " ".join(parts)
         round_part = (
             f" r{event['round']}" if event.get("round") is not None else ""
         )
+        if etype == "round_record":
+            record = event.get("record") or {}
+            loss = record.get("train_loss")
+            acc = record.get("test_accuracy")
+            loss_part = "-" if loss is None else f"{loss:.6g}"
+            acc_part = "-" if acc is None else f"{acc:.4g}"
+            return (
+                f"[telemetry]{round_part} record loss={loss_part} "
+                f"acc={acc_part} clients={len(record.get('selected') or [])}"
+            )
         if etype == "span":
             return (
                 f"[telemetry]{round_part} span {event.get('name')} "
@@ -191,14 +300,34 @@ class ConsoleSink(Sink):
             f"{event.get('name')} = {value}"
         )
 
-    def emit(self, event: Dict[str, Any]) -> None:
-        self.events_seen += 1
-        now = self._clock()
-        if (
-            event.get("type") != "manifest"
-            and now - self._last_print < self.min_interval
-        ):
-            return
-        self._last_print = now
+    def _print(self, event: Dict[str, Any]) -> None:
         print(self._format(event), file=self.stream)
         self.lines_printed += 1
+
+    def _flush_pending(self) -> None:
+        if self._pending is not None:
+            self._print(self._pending)
+            self._pending = None
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events_seen += 1
+        etype = event.get("type")
+        now = self._clock()
+        if etype not in ("manifest", "run_footer"):
+            if now - self._last_print < self.min_interval:
+                self._pending = event  # newest suppressed event wins
+                return
+            self._pending = None  # this newer event supersedes it
+            self._last_print = now
+            self._print(event)
+            return
+        if etype == "run_footer":
+            self._flush_pending()  # the final round, throttled until now
+        self._last_print = now
+        self._print(event)
+
+    def flush(self) -> None:
+        self._flush_pending()
+
+    def close(self) -> None:
+        self._flush_pending()

@@ -199,8 +199,16 @@ class TestJSONLArtifact:
         assert [e["round"] for e in round_spans] == list(range(ROUNDS))
         assert len(history) == ROUNDS
         # every line deserialized to a flat dict with a type discriminator
-        assert all(e["type"] in ("manifest", "span", "metric")
-                   for e in events)
+        assert all(
+            e["type"] in ("manifest", "span", "metric", "round_record",
+                          "run_footer")
+            for e in events
+        )
+        # schema 2: one canonical record per round, then the sealing footer
+        records = [e for e in events if e["type"] == "round_record"]
+        assert [e["round"] for e in records] == list(range(ROUNDS))
+        assert events[-1]["type"] == "run_footer"
+        assert events[-1]["rounds"] == ROUNDS
 
 
 class TestExecutorParity:
