@@ -13,7 +13,7 @@ Run:  python examples/theory_and_diagnostics.py
 
 import numpy as np
 
-from repro.core import Client, make_fedprox
+from repro.core import Client, EvalConfig, make_fedprox
 from repro.datasets import make_synthetic
 from repro.io import load_checkpoint, save_checkpoint
 from repro.models import MultinomialLogisticRegression
@@ -32,7 +32,7 @@ SEED = 5
 def theory_guided_mu(dataset) -> None:
     rng = np.random.default_rng(SEED)
     model = MultinomialLogisticRegression(dim=60, num_classes=10)
-    trainer = make_fedprox(dataset, model, 0.01, mu=0.0, seed=SEED, eval_every=100)
+    trainer = make_fedprox(dataset, model, 0.01, mu=0.0, seed=SEED, evaluation=EvalConfig(every=100))
     trainer.run(5)  # measure at a non-trivial point
 
     clients = [Client(c, model, SGDSolver(0.01)) for c in dataset]
@@ -86,14 +86,14 @@ def round_diagnostics(dataset) -> None:
 
 def checkpoint_roundtrip(dataset, tmp_dir="results/example_checkpoint") -> None:
     model = MultinomialLogisticRegression(dim=60, num_classes=10)
-    trainer = make_fedprox(dataset, model, 0.01, mu=1.0, seed=SEED, eval_every=100)
+    trainer = make_fedprox(dataset, model, 0.01, mu=1.0, seed=SEED, evaluation=EvalConfig(every=100))
     history = trainer.run(5)
     save_checkpoint(tmp_dir, model, history)
 
     fresh = MultinomialLogisticRegression(dim=60, num_classes=10)
     restored_history = load_checkpoint(tmp_dir, fresh)
     params_restored = bool(np.array_equal(trainer.w, fresh.get_params()))
-    resumed = make_fedprox(dataset, fresh, 0.01, mu=1.0, seed=SEED, eval_every=100)
+    resumed = make_fedprox(dataset, fresh, 0.01, mu=1.0, seed=SEED, evaluation=EvalConfig(every=100))
     resumed.run(2)
     print()
     print(

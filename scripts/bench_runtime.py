@@ -47,10 +47,19 @@ packing planner (:mod:`repro.runtime.packing`) exists for.  Each sweep row
 records the mean ``cohort.pack_efficiency`` gauge next to the speedup, so
 the schedule quality and the wall-clock win land in the same artifact.
 
+An **async sweep** measures the bounded-staleness
+:class:`~repro.runtime.async_engine.AsyncExecutor` under seeded log-normal
+arrival traffic across staleness windows (``--async-windows``) at the
+paper-relevant 100 / 1000 device points: each row reports round and
+delivered-update throughput plus the staleness/discard telemetry the
+engine emits, showing the utilization-vs-freshness trade the window tunes.
+``--engine async`` runs only this sweep.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_runtime.py            # full sweep
     PYTHONPATH=src python scripts/bench_runtime.py --skew 0 1 3
+    PYTHONPATH=src python scripts/bench_runtime.py --engine async
     PYTHONPATH=src python scripts/bench_runtime.py --quick    # CI-sized
     PYTHONPATH=src python scripts/bench_runtime.py --quick --smoke  # assert-only
 """
@@ -66,7 +75,7 @@ from typing import List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core import FederatedTrainer  # noqa: E402
+from repro.core import EvalConfig, FederatedTrainer  # noqa: E402
 from repro.datasets import make_synthetic  # noqa: E402
 from repro.models import MultinomialLogisticRegression  # noqa: E402
 from repro.optim import SGDSolver  # noqa: E402
@@ -87,6 +96,15 @@ from repro.telemetry import (  # noqa: E402
 )
 
 MODES = ("serial-legacy", "serial-fast", "parallel", "cohort")
+
+#: Staleness windows swept by the async engine rows (``--async-windows``).
+ASYNC_WINDOWS = (0, 1, 2, 4)
+
+#: Arrival model for the async sweep: seeded log-normal check-in latency
+#: with a median of 1.2 round periods, so a meaningful fraction of every
+#: cohort misses its submission round and the staleness window actually
+#: gates delivery (synchronized arrivals would make every window identical).
+ASYNC_ARRIVALS = "arrivals=seeded,latency=1.2,jitter=0.6"
 
 #: Telemetry events the trainer emits per round with K=10 and eval every
 #: round: 1 round span + 4 phase spans + ~10 solve:client spans + 2 eval
@@ -129,11 +147,43 @@ def build_trainer(
         epochs=epochs,
         systems=systems if systems is not None else FractionStragglers(0.5, seed=seed),
         seed=seed,
-        executor=executor,
-        eval_mode=eval_mode,
-        eval_every=eval_every,
+        engine=executor,
+        evaluation=EvalConfig(every=eval_every, mode=eval_mode),
         telemetry=telemetry,
         label=f"bench-{mode}",
+    )
+
+
+def build_async_trainer(
+    dataset,
+    window: int,
+    epochs: float,
+    eval_every: int,
+    seed: int = 0,
+    telemetry=None,
+    label: str = "bench-async",
+) -> FederatedTrainer:
+    """One FedProx trainer per async staleness-window measurement.
+
+    Built through the redesigned config surface: the engine is an
+    ``async:`` spec string (parsed into an ``AsyncExecutor`` by
+    ``EngineConfig``) and evaluation knobs ride in an ``EvalConfig`` —
+    no deprecated flat kwargs.
+    """
+    model = MultinomialLogisticRegression(dim=60, num_classes=10)
+    return FederatedTrainer(
+        dataset=dataset,
+        model=model,
+        solver=SGDSolver(0.01, batch_size=10),
+        mu=1.0,
+        clients_per_round=min(10, dataset.num_devices),
+        epochs=epochs,
+        systems=FractionStragglers(0.5, seed=seed),
+        seed=seed,
+        engine=f"async:window={window},{ASYNC_ARRIVALS}",
+        evaluation=EvalConfig(every=eval_every),
+        telemetry=telemetry,
+        label=label,
     )
 
 
@@ -270,6 +320,113 @@ def run_skew_sweep(
     return rows
 
 
+def run_async_sweep(
+    windows: List[int],
+    devices: List[int],
+    rounds: int,
+    epochs: float,
+    telemetry_out: Optional[str] = None,
+) -> List[dict]:
+    """Async-engine throughput vs staleness window (``--engine async``).
+
+    Every row runs the same seeded log-normal arrival traffic
+    (:data:`ASYNC_ARRIVALS`) and varies only the bounded-staleness
+    ``window``: at ``window=0`` only same-round check-ins aggregate and the
+    late majority is discarded, while wider windows convert those discards
+    into stale (discounted) deliveries.  ``delivered`` / ``discarded`` /
+    ``mean_staleness`` come from the engine's own ``async:checkin`` spans
+    and ``async.discard`` counters, and ``update_throughput`` is delivered
+    updates per wall second — the utilization-vs-freshness trade the
+    bounded window exists to tune.  Evaluation is skipped so rows isolate
+    engine + solve cost.  When a telemetry artifact is open, each row's run
+    ledger is appended (label ``bench-async-d<devices>-w<window>``) and
+    certified by :func:`check_artifact` like every synchronous mode.
+    """
+    rows: List[dict] = []
+    for num_devices in devices:
+        dataset = make_synthetic(1.0, 1.0, num_devices=num_devices, seed=0)
+        base_throughput: Optional[float] = None
+        for window in windows:
+            sink = InMemorySink()
+            sinks = [sink]
+            if telemetry_out:
+                sinks.append(JSONLSink(telemetry_out, append=True))
+            trainer = build_async_trainer(
+                dataset,
+                window,
+                epochs=epochs,
+                eval_every=rounds + 2,
+                telemetry=Telemetry(sinks),
+                label=f"bench-async-d{num_devices}-w{window}",
+            )
+            try:
+                timing = time_rounds(trainer, rounds, sink)
+            finally:
+                trainer.close()
+
+            def timed(events):
+                return [
+                    e for e in events
+                    if e["round"] is not None and e["round"] >= 1
+                ]
+
+            checkins = timed(sink.spans("async:checkin"))
+            delivered = len(checkins)
+            discarded = int(
+                sum(e["value"] for e in timed(sink.metrics("async.discard")))
+            )
+            depths = timed(sink.metrics("async.queue_depth"))
+            seconds = timing["seconds"]
+            throughput = rounds / seconds
+            if window == windows[0]:
+                base_throughput = throughput
+            rows.append(
+                {
+                    "devices": num_devices,
+                    "window": window,
+                    "rounds": rounds,
+                    "seconds": round(seconds, 4),
+                    "rounds_per_sec": round(throughput, 3),
+                    "update_throughput": round(delivered / seconds, 3),
+                    "delivered": delivered,
+                    "discarded": discarded,
+                    "mean_staleness": (
+                        round(
+                            sum(e["staleness"] for e in checkins) / delivered, 3
+                        )
+                        if delivered
+                        else None
+                    ),
+                    "stale_fraction": (
+                        round(
+                            sum(1 for e in checkins if e["staleness"] > 0)
+                            / delivered,
+                            3,
+                        )
+                        if delivered
+                        else None
+                    ),
+                    "mean_queue_depth": (
+                        round(sum(e["value"] for e in depths) / len(depths), 2)
+                        if depths
+                        else None
+                    ),
+                    "throughput_vs_window0": (
+                        round(throughput / base_throughput, 3)
+                        if base_throughput
+                        else None
+                    ),
+                }
+            )
+            print(
+                f"async devices={num_devices:5d} window={window}  "
+                f"{throughput:8.2f} rounds/s  delivered={delivered:3d} "
+                f"discarded={discarded:3d} "
+                f"mean_staleness={rows[-1]['mean_staleness']}"
+            )
+    return rows
+
+
 def run_benchmark(
     devices: List[int],
     rounds: int,
@@ -381,6 +538,20 @@ def run_benchmark(
                 "apples-to-apples; null_telemetry_overhead projects the "
                 "cost of the default disabled path."
             ),
+            "async_engine": (
+                "async_sweep rows time the bounded-staleness AsyncExecutor "
+                "(repro.runtime.async_engine) under seeded log-normal "
+                "arrivals (median 1.2 round periods): window=0 keeps only "
+                "same-round check-ins (the serial-parity regime — most "
+                "traffic is discarded), wider windows aggregate stale "
+                "check-ins at a poly (1+s)^-1 weight discount instead of "
+                "discarding them, so update_throughput (delivered updates "
+                "per wall second) rises with the window while rounds_per_sec "
+                "stays roughly flat — the engine trades model-version "
+                "freshness for device utilization, not round latency. "
+                "Each row's run ledger lands in the telemetry artifact and "
+                "is digest-verified like the synchronous modes."
+            ),
             "memory": (
                 "rss_mb is the process's resident set right after the "
                 "mode's timed rounds; peak_rss_mb is the process-lifetime "
@@ -397,41 +568,61 @@ def run_benchmark(
 
 def check_smoke(payload: dict) -> None:
     """Assert-only validation of a smoke-sized payload (CI wiring)."""
-    modes = {row["mode"] for row in payload["results"]}
-    assert modes == set(MODES), f"missing modes: {set(MODES) - modes}"
-    for row in payload["results"]:
-        assert row["rounds_per_sec"] > 0, row
-        assert row["seconds"] > 0, row
-        assert row["solve_rounds_per_sec"] > 0, row
-        assert row["telemetry_events"] > 0, row
-        assert "speedup_vs_serial" in row and "speedup_vs_serial_fast" in row
-        assert "solve_speedup_vs_serial_fast" in row
-        assert "rss_mb" in row and "peak_rss_mb" in row
-        if row["peak_rss_mb"] is not None:
-            assert row["peak_rss_mb"] > 0, row
+    if "results" in payload:
+        modes = {row["mode"] for row in payload["results"]}
+        assert modes == set(MODES), f"missing modes: {set(MODES) - modes}"
+        for row in payload["results"]:
+            assert row["rounds_per_sec"] > 0, row
+            assert row["seconds"] > 0, row
+            assert row["solve_rounds_per_sec"] > 0, row
+            assert row["telemetry_events"] > 0, row
+            assert "speedup_vs_serial" in row and "speedup_vs_serial_fast" in row
+            assert "solve_speedup_vs_serial_fast" in row
+            assert "rss_mb" in row and "peak_rss_mb" in row
+            if row["peak_rss_mb"] is not None:
+                assert row["peak_rss_mb"] > 0, row
+        overhead = payload["null_telemetry_overhead"]["overhead_fraction"]
+        assert overhead < 0.02, (
+            f"disabled-telemetry overhead {100 * overhead:.3f}% exceeds the "
+            "2% budget — NullTelemetry must stay near-free"
+        )
     assert payload["cpu_count"] >= 1
-    overhead = payload["null_telemetry_overhead"]["overhead_fraction"]
-    assert overhead < 0.02, (
-        f"disabled-telemetry overhead {100 * overhead:.3f}% exceeds the 2% "
-        "budget — NullTelemetry must stay near-free"
+    if "skew_sweep" in payload:
+        sweep = payload["skew_sweep"]["results"]
+        assert sweep, "skew sweep produced no rows"
+        for row in sweep:
+            assert row["cohort_solve_speedup"] > 0, row
+            assert row["serial_fast_solve_seconds"] > 0, row
+            assert row["mean_pack_efficiency"] is not None, row
+            assert 0.0 < row["mean_pack_efficiency"] <= 1.0, row
+            assert row["mean_lanes"] >= 1.0, row
+    async_rows = payload["async_sweep"]["results"]
+    assert async_rows, "async sweep produced no rows"
+    assert sum(r["delivered"] for r in async_rows) > 0, (
+        "no async check-in was ever delivered — the seeded arrival clock "
+        "or the delivery loop is broken"
     )
-    sweep = payload["skew_sweep"]["results"]
-    assert sweep, "skew sweep produced no rows"
-    for row in sweep:
-        assert row["cohort_solve_speedup"] > 0, row
-        assert row["serial_fast_solve_seconds"] > 0, row
-        assert row["mean_pack_efficiency"] is not None, row
-        assert 0.0 < row["mean_pack_efficiency"] <= 1.0, row
-        assert row["mean_lanes"] >= 1.0, row
+    for row in async_rows:
+        assert row["rounds_per_sec"] > 0, row
+        assert row["delivered"] >= 0 and row["discarded"] >= 0, row
+        if row["window"] == 0:
+            # The bounded window is the only staleness source filter:
+            # at window=0 nothing stale may ever aggregate.
+            assert row["mean_staleness"] in (None, 0.0), row
+        elif row["mean_staleness"] is not None:
+            assert 0.0 <= row["mean_staleness"] <= row["window"], row
 
 
-def check_artifact(path: str) -> None:
-    """Sanity-check the emitted JSONL artifact (one manifest per mode).
+def check_artifact(path: str, expect_modes: bool = True) -> None:
+    """Sanity-check the emitted JSONL artifact (one manifest per run).
 
     Beyond the historical structural checks, every chained run must now
     carry a complete ledger: round records for every timed round, a
     ``run_footer``, and a history digest that recomputes identically
-    (``verify_artifact`` reports truncation and tampering).
+    (``verify_artifact`` reports truncation and tampering).  Async-sweep
+    runs append ``bench-async-d<devices>-w<window>`` ledgers next to the
+    per-mode ones; ``expect_modes=False`` (``--engine async``) accepts an
+    artifact holding only those.
     """
     from repro.telemetry import load_runs, read_jsonl, verify_artifact
 
@@ -442,7 +633,13 @@ def check_artifact(path: str) -> None:
     assert manifests and spans, "artifact must hold manifests and spans"
     assert events[0]["type"] == "manifest", "manifest must lead the artifact"
     labels = {m["label"] for m in manifests}
-    assert labels == {f"bench-{mode}" for mode in MODES}, labels
+    async_labels = {lbl for lbl in labels if lbl.startswith("bench-async-")}
+    if expect_modes:
+        assert labels - async_labels == {
+            f"bench-{mode}" for mode in MODES
+        }, labels
+    else:
+        assert async_labels and labels == async_labels, labels
     for run in load_runs(path):
         issues = verify_artifact(run)
         assert not issues, f"{run.label}: ledger issues {issues}"
@@ -466,6 +663,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--skew", type=float, nargs="+", default=None, metavar="ALPHA",
         help="power-law straggler exponents for the skew sweep "
         "(PowerLawStragglers; default 0 1 3, shrunk under --quick/--smoke)",
+    )
+    parser.add_argument(
+        "--engine", choices=("all", "async"), default="all",
+        help="'all' (default) runs the mode table, skew sweep and async "
+        "sweep; 'async' runs only the async staleness-window sweep",
+    )
+    parser.add_argument(
+        "--async-windows", type=int, nargs="+", default=None, metavar="W",
+        help="staleness windows for the async sweep "
+        f"(default {list(ASYNC_WINDOWS)}, shrunk under --quick/--smoke)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -502,23 +709,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     if skew_alphas is None:
         skew_alphas = [2.0] if (args.quick or args.smoke) else [0.0, 1.0, 3.0]
     skew_devices = [d for d in args.devices if d >= 100] or args.devices
+    async_windows = args.async_windows
+    if async_windows is None:
+        async_windows = (
+            [0, 2] if (args.quick or args.smoke) else list(ASYNC_WINDOWS)
+        )
+    async_devices = skew_devices  # the paper-relevant 100 / 1000 points
 
-    payload = run_benchmark(
-        args.devices, args.rounds, args.workers, args.epochs, telemetry_out
-    )
-    payload["skew_sweep"] = {
-        "systems_model": "PowerLawStragglers(alpha)",
-        "alphas": skew_alphas,
-        "devices": skew_devices,
-        "results": run_skew_sweep(
-            skew_alphas, skew_devices, args.rounds, args.epochs
+    if args.engine == "async":
+        if telemetry_out:
+            open(telemetry_out, "w").close()  # truncate; runs append below
+        payload = {
+            "benchmark": "runtime async staleness-window sweep",
+            "dataset": "synthetic(1,1)",
+            "cpu_count": os.cpu_count(),
+            "rounds_timed": args.rounds,
+            "local_epochs": args.epochs,
+            "telemetry_artifact": telemetry_out,
+        }
+    else:
+        payload = run_benchmark(
+            args.devices, args.rounds, args.workers, args.epochs, telemetry_out
+        )
+        payload["skew_sweep"] = {
+            "systems_model": "PowerLawStragglers(alpha)",
+            "alphas": skew_alphas,
+            "devices": skew_devices,
+            "results": run_skew_sweep(
+                skew_alphas, skew_devices, args.rounds, args.epochs
+            ),
+        }
+    payload["async_sweep"] = {
+        "engine": f"async:window=W,{ASYNC_ARRIVALS}",
+        "discount": "poly (power=1.0): stale weight (1+s)^-1",
+        "windows": async_windows,
+        "devices": async_devices,
+        "results": run_async_sweep(
+            async_windows, async_devices, args.rounds, args.epochs,
+            telemetry_out,
         ),
     }
     payload["quick"] = bool(args.quick)
     payload["generated_unix"] = int(time.time())
 
     if telemetry_out:
-        check_artifact(telemetry_out)
+        check_artifact(telemetry_out, expect_modes=args.engine != "async")
         print(f"wrote telemetry artifact {telemetry_out}")
 
     if args.smoke:

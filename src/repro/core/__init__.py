@@ -7,6 +7,8 @@ from .client import Client, ClientPool, ClientUpdate
 from .config import (
     CohortConfig,
     DiagnosticsConfig,
+    EngineConfig,
+    EvalConfig,
     EvaluationConfig,
     OptimizationConfig,
     TrainerConfig,
@@ -32,6 +34,8 @@ __all__ = [
     "TrainerConfig",
     "OptimizationConfig",
     "CohortConfig",
+    "EngineConfig",
+    "EvalConfig",
     "EvaluationConfig",
     "DiagnosticsConfig",
     "make_fedavg",

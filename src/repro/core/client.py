@@ -46,6 +46,15 @@ class ClientUpdate:
         :mod:`repro.faults`), stamped where the solve ran; ``None`` for a
         healthy solve.  The server's fault policy reads it to decide
         retry/accept/drop and stale buffering.
+    staleness:
+        Model-version lag at delivery, stamped by the async engine
+        (:mod:`repro.runtime.async_engine`): the update solved against the
+        model of round ``r - staleness`` when aggregated at round ``r``.
+        Always 0 on synchronous executors.
+    discount:
+        Multiplicative staleness discount applied to this update's
+        aggregation weight; 1.0 (no discount) for fresh updates and on
+        synchronous executors.
     """
 
     client_id: int
@@ -56,6 +65,8 @@ class ClientUpdate:
     gamma: Optional[float] = None
     timings: Optional[Dict[str, float]] = None
     fault: Optional[FaultDecision] = None
+    staleness: int = 0
+    discount: float = 1.0
 
 
 class Client:

@@ -1,28 +1,35 @@
 """Config-first trainer construction: :class:`TrainerConfig`.
 
-:class:`~repro.core.server.FederatedTrainer` historically took ~20 flat
-keyword arguments.  :class:`TrainerConfig` groups them into four frozen
+:class:`~repro.core.server.FederatedTrainer` historically took ~25 flat
+keyword arguments.  :class:`TrainerConfig` groups them into five frozen
 sub-sections matching the trainer's concerns:
 
 * :class:`OptimizationConfig` — the algorithm itself (µ, E, straggler
   semantics, adaptive-µ controller).
 * :class:`CohortConfig` — who participates and under what simulated
   environment (K, sampling scheme, systems model, fault schedule + policy).
-* :class:`EvaluationConfig` — when and how the federation is evaluated.
+* :class:`EvalConfig` — when and how the federation is evaluated.
+* :class:`EngineConfig` — the round execution engine (serial / parallel /
+  cohort / async) and its parameters, replacing the flat ``executor`` spec
+  string plus knob sprawl.
 * :class:`DiagnosticsConfig` — observability (γ/dissimilarity tracking,
   telemetry, cost accounting).
 
 Construct with ``FederatedTrainer.from_config(dataset, model, solver,
-config)``; the flat-kwargs path keeps working and the two construct
-identical trainers (``from_kwargs``/``to_kwargs`` convert losslessly).
-Scalar-valued configs additionally round-trip through JSON-friendly dicts
+config)``; the flat-kwargs path keeps working (the legacy ``eval_*`` /
+``executor`` names are routed through the new sub-configs behind one-shot
+``DeprecationWarning``s) and the two construct identical trainers
+(``from_kwargs``/``to_kwargs`` convert losslessly).  Scalar-valued configs
+additionally round-trip through JSON-friendly dicts
 (:meth:`TrainerConfig.to_dict` / :meth:`TrainerConfig.from_dict`), which is
-also what the telemetry manifest embeds.
+also what the telemetry manifest embeds — including the full async engine
+parameterization, so ``repro.trace replay`` rebuilds async runs exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+import warnings
+from dataclasses import dataclass, field, fields, replace as dc_replace
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from ..faults.models import FaultSchedule, fault_schedule_from_dict
@@ -39,6 +46,27 @@ from .sampling import SamplingScheme
 
 if TYPE_CHECKING:  # avoid importing the runtime at module load
     from ..runtime.executor import RoundExecutor
+
+#: Sentinel distinguishing "not passed" from any real value for deprecated
+#: flat keyword arguments.
+_UNSET = object()
+
+#: Deprecated flat names already warned about this process — deprecation
+#: warnings are one-shot per name so sweeps don't drown in repeats.
+_DEPRECATION_WARNED: set = set()
+
+
+def warn_deprecated_kwarg(name: str, instead: str) -> None:
+    """One-shot ``DeprecationWarning`` for a legacy flat trainer kwarg."""
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"the flat {name!r} trainer option is deprecated; {instead} "
+        "(see the removal table in DESIGN.md §16)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -63,27 +91,225 @@ class CohortConfig:
 
 
 @dataclass(frozen=True)
-class EvaluationConfig:
+class EvalConfig:
     """When and how the global model is evaluated.
 
-    ``eval`` selects the evaluation strategy: ``"full"`` (exhaustive, the
-    historical behavior) or ``"sampled"`` (size-stratified subsample with
-    confidence intervals — see :mod:`repro.runtime.sampled`); the
-    ``eval_sample_size`` / ``eval_strata`` / ``eval_full_every`` knobs
-    apply only to the sampled strategy.  ``eval_train_every`` skips the
-    per-round training-loss evaluation on intermediate rounds (records
-    hold ``None`` there) — independent of ``eval_every``, which gates the
-    test/dissimilarity evaluation.
+    ``strategy`` selects the evaluation strategy: ``"full"`` (exhaustive,
+    the historical behavior) or ``"sampled"`` (size-stratified subsample
+    with confidence intervals — see :mod:`repro.runtime.sampled`); the
+    ``sample_size`` / ``strata`` / ``full_every`` knobs apply only to the
+    sampled strategy.  ``train_every`` skips the per-round training-loss
+    evaluation on intermediate rounds (records hold ``None`` there) —
+    independent of ``every``, which gates the test/dissimilarity
+    evaluation.  ``mode`` picks the evaluation kernel (``"auto"`` /
+    ``"stacked"`` / ``"per_client"``, see :mod:`repro.runtime.evaluation`).
+
+    The legacy flat names (``eval_every``, ``eval_test``, ``eval_mode``,
+    ``eval``, ``eval_sample_size``, ``eval_strata``, ``eval_full_every``,
+    ``eval_train_every``) remain readable as properties.
     """
 
-    eval_every: int = 1
-    eval_test: bool = True
-    eval_mode: str = "auto"
-    eval: str = "full"
-    eval_sample_size: int = 100
-    eval_strata: int = 10
-    eval_full_every: int = 0
-    eval_train_every: int = 1
+    every: int = 1
+    test: bool = True
+    mode: str = "auto"
+    strategy: str = "full"
+    sample_size: int = 100
+    strata: int = 10
+    full_every: int = 0
+    train_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("full", "sampled"):
+            raise ValueError(
+                f"eval strategy must be 'full' or 'sampled', got "
+                f"{self.strategy!r}"
+            )
+        if self.train_every < 1:
+            raise ValueError("eval train_every must be at least 1")
+
+    # Legacy flat-name views ------------------------------------------- #
+    @property
+    def eval_every(self) -> int:
+        return self.every
+
+    @property
+    def eval_test(self) -> bool:
+        return self.test
+
+    @property
+    def eval_mode(self) -> str:
+        return self.mode
+
+    @property
+    def eval(self) -> str:
+        return self.strategy
+
+    @property
+    def eval_sample_size(self) -> int:
+        return self.sample_size
+
+    @property
+    def eval_strata(self) -> int:
+        return self.strata
+
+    @property
+    def eval_full_every(self) -> int:
+        return self.full_every
+
+    @property
+    def eval_train_every(self) -> int:
+        return self.train_every
+
+
+#: Legacy ``eval_*`` flat names -> :class:`EvalConfig` field names.
+EVAL_FIELD_RENAMES = {
+    "eval_every": "every",
+    "eval_test": "test",
+    "eval_mode": "mode",
+    "eval": "strategy",
+    "eval_sample_size": "sample_size",
+    "eval_strata": "strata",
+    "eval_full_every": "full_every",
+    "eval_train_every": "train_every",
+}
+
+
+def EvaluationConfig(**kwargs: Any) -> EvalConfig:
+    """Deprecated alias of :class:`EvalConfig` taking the legacy names.
+
+    Accepts both the historical ``eval_*`` field names and the new ones,
+    returns an :class:`EvalConfig`, and warns once per process.
+    """
+    warn_deprecated_kwarg(
+        "EvaluationConfig", "construct an EvalConfig with the new field names"
+    )
+    return EvalConfig(
+        **{EVAL_FIELD_RENAMES.get(k, k): v for k, v in kwargs.items()}
+    )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The round execution engine and its parameters.
+
+    ``mode`` selects the engine (``"serial"`` / ``"parallel"`` /
+    ``"cohort"`` / ``"async"``); the remaining fields parameterize it:
+    ``workers`` applies to the parallel engine, everything else to the
+    async engine (see :class:`~repro.runtime.async_engine.AsyncExecutor`
+    for the semantics of ``window`` / ``discount`` / ``capacity`` /
+    ``arrivals``).  :meth:`spec` renders the canonical executor spec
+    string (``"parallel:4"``, ``"async:window=2,discount=poly"``) and
+    :meth:`from_spec` parses one — the grammar and this config are
+    lossless inverses, which is what lets the run ledger serialize an
+    async engine and ``repro.trace replay`` rebuild it exactly.
+    """
+
+    mode: str = "serial"
+    workers: Optional[Union[int, str]] = None
+    window: int = 0
+    discount: str = "poly"
+    discount_power: float = 1.0
+    discount_factor: float = 0.5
+    capacity: int = 0
+    arrivals: str = "synchronized"
+    latency: float = 1.0
+    jitter: float = 0.5
+    clock_seed: Optional[int] = None
+    #: Prebuilt executor instance to use verbatim (not serializable; two
+    #: configs differing only here compare equal).
+    instance: Optional["RoundExecutor"] = field(
+        default=None, compare=False, repr=False
+    )
+
+    #: (spec key, field name, default) for the async spec grammar, in
+    #: canonical emission order.
+    _ASYNC_SPEC_KEYS = (
+        ("window", "window", 0),
+        ("discount", "discount", "poly"),
+        ("power", "discount_power", 1.0),
+        ("factor", "discount_factor", 0.5),
+        ("capacity", "capacity", 0),
+        ("arrivals", "arrivals", "synchronized"),
+        ("latency", "latency", 1.0),
+        ("jitter", "jitter", 0.5),
+        ("seed", "clock_seed", None),
+    )
+
+    def spec(self) -> str:
+        """The canonical executor spec string describing this engine."""
+        if self.mode == "parallel":
+            return (
+                "parallel" if self.workers is None
+                else f"parallel:{self.workers}"
+            )
+        if self.mode == "async":
+            parts = []
+            for key, name, default in self._ASYNC_SPEC_KEYS:
+                value = getattr(self, name)
+                if value != default:
+                    rendered = repr(value) if isinstance(value, float) else value
+                    parts.append(f"{key}={rendered}")
+            return "async:" + ",".join(parts) if parts else "async"
+        return self.mode
+
+    @classmethod
+    def from_spec(cls, spec: str, instance: Optional["RoundExecutor"] = None) -> "EngineConfig":
+        """Parse an executor spec string into an :class:`EngineConfig`."""
+        from ..runtime import parse_executor_spec
+
+        mode, kwargs = parse_executor_spec(spec)
+        if mode == "parallel" and "n_workers" in kwargs:
+            kwargs = {"workers": kwargs["n_workers"]}
+        return cls(mode=mode, instance=instance, **kwargs)
+
+    @classmethod
+    def resolve(cls, value: Any) -> "EngineConfig":
+        """Coerce any accepted ``engine``/``executor`` value to a config.
+
+        ``None`` → the serial default; a spec string is parsed; an
+        :class:`EngineConfig` passes through; a prebuilt
+        :class:`~repro.runtime.executor.RoundExecutor` is wrapped (its
+        :meth:`~repro.runtime.executor.RoundExecutor.spec` recovers the
+        parameterization so the ledger still serializes it fully).
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.from_spec(value)
+        if hasattr(value, "run_local_solves"):  # RoundExecutor duck type
+            spec = getattr(value, "spec", None)
+            if callable(spec):
+                return cls.from_spec(spec(), instance=value)
+            name = type(value).__name__
+            if name.endswith("Executor"):
+                name = name[: -len("Executor")]
+            return cls(mode=name.lower(), instance=value)
+        raise TypeError(
+            "engine must be an EngineConfig, an executor spec string, or a "
+            f"RoundExecutor instance; got {type(value).__name__}"
+        )
+
+    def build(self) -> "RoundExecutor":
+        """The executor this config describes (prebuilt instance wins)."""
+        if self.instance is not None:
+            return self.instance
+        from ..runtime import make_executor
+
+        return make_executor(self.spec())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Scalar description of this engine (``instance`` is omitted)."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "instance"
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "EngineConfig":
+        return cls(**{k: v for k, v in spec.items() if k != "instance"})
 
 
 @dataclass(frozen=True)
@@ -98,7 +324,9 @@ class DiagnosticsConfig:
 
 
 #: kwargs name -> (section attribute, field name); the single source of
-#: truth for the flat-kwargs <-> config correspondence.
+#: truth for the flat-kwargs <-> config correspondence.  The ``eval_*``
+#: names are the *legacy* flat spellings — they route into the renamed
+#: :class:`EvalConfig` fields.
 _KWARG_MAP = {
     "mu": ("optimization", "mu"),
     "epochs": ("optimization", "epochs"),
@@ -109,14 +337,14 @@ _KWARG_MAP = {
     "systems": ("cohorting", "systems"),
     "faults": ("cohorting", "faults"),
     "fault_policy": ("cohorting", "fault_policy"),
-    "eval_every": ("evaluation", "eval_every"),
-    "eval_test": ("evaluation", "eval_test"),
-    "eval_mode": ("evaluation", "eval_mode"),
-    "eval": ("evaluation", "eval"),
-    "eval_sample_size": ("evaluation", "eval_sample_size"),
-    "eval_strata": ("evaluation", "eval_strata"),
-    "eval_full_every": ("evaluation", "eval_full_every"),
-    "eval_train_every": ("evaluation", "eval_train_every"),
+    "eval_every": ("evaluation", "every"),
+    "eval_test": ("evaluation", "test"),
+    "eval_mode": ("evaluation", "mode"),
+    "eval": ("evaluation", "strategy"),
+    "eval_sample_size": ("evaluation", "sample_size"),
+    "eval_strata": ("evaluation", "strata"),
+    "eval_full_every": ("evaluation", "full_every"),
+    "eval_train_every": ("evaluation", "train_every"),
     "track_dissimilarity": ("diagnostics", "track_dissimilarity"),
     "track_gamma": ("diagnostics", "track_gamma"),
     "dissimilarity_max_clients": ("diagnostics", "dissimilarity_max_clients"),
@@ -200,44 +428,79 @@ def _restore_object(section: str, name: str, value: Any) -> Any:
     )
 
 
+def resolve_eval_config(
+    evaluation: Any, overrides: Dict[str, Any], warn: bool = True
+) -> EvalConfig:
+    """Merge an ``evaluation=`` object with legacy flat ``eval_*`` kwargs.
+
+    ``overrides`` maps *legacy* flat names to explicitly-passed values.
+    Passing both the new object and a flat knob is a ``TypeError`` (there
+    is no sensible precedence); flat knobs alone work behind one-shot
+    deprecation warnings when ``warn`` is set.
+    """
+    if evaluation is not None and overrides:
+        raise TypeError(
+            f"pass evaluation settings either via evaluation=EvalConfig(...) "
+            f"or the flat legacy kwargs, not both (got evaluation= plus "
+            f"{sorted(overrides)})"
+        )
+    if evaluation is not None:
+        if not isinstance(evaluation, EvalConfig):
+            raise TypeError(
+                f"evaluation must be an EvalConfig, got "
+                f"{type(evaluation).__name__}"
+            )
+        return evaluation
+    if warn:
+        for name in overrides:
+            new = EVAL_FIELD_RENAMES[name]
+            warn_deprecated_kwarg(
+                name, f"pass evaluation=EvalConfig({new}=...) instead"
+            )
+    return EvalConfig(
+        **{EVAL_FIELD_RENAMES[k]: v for k, v in overrides.items()}
+    )
+
+
 @dataclass(frozen=True)
 class TrainerConfig:
     """Grouped, immutable configuration for one federated training run.
 
     Attributes
     ----------
-    optimization, cohorting, evaluation, diagnostics:
-        The four concern groups (see module docstring).
+    optimization, cohorting, evaluation, engine, diagnostics:
+        The five concern groups (see module docstring).
     seed:
         Seed fixing device selection, straggler/fault draws, and
         mini-batch orders.
-    executor:
-        Round execution engine — an executor spec string (``"serial"``,
-        ``"parallel"``, ``"parallel:N"``, ``"parallel:auto"``,
-        ``"cohort"``) or a prebuilt
-        :class:`~repro.runtime.executor.RoundExecutor`; ``None`` selects
-        the serial default.
     label:
         Display name for histories and telemetry manifests.
+
+    The historical flat ``executor`` spec strings (``"serial"``,
+    ``"parallel[:N|:auto]"``, ``"cohort"``, now also
+    ``"async[:key=value,...]"``) remain accepted by :meth:`from_kwargs`
+    and :meth:`replace` — they resolve into the ``engine`` section.
     """
 
     optimization: OptimizationConfig = field(default_factory=OptimizationConfig)
     cohorting: CohortConfig = field(default_factory=CohortConfig)
-    evaluation: EvaluationConfig = field(default_factory=EvaluationConfig)
+    evaluation: EvalConfig = field(default_factory=EvalConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
     diagnostics: DiagnosticsConfig = field(default_factory=DiagnosticsConfig)
     seed: int = 0
-    executor: Optional[Union[str, "RoundExecutor"]] = None
     label: str = ""
 
     # Flat-kwargs correspondence ----------------------------------------- #
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "TrainerConfig":
-        """Group the trainer's historical flat kwargs into a config.
+        """Group the trainer's flat kwargs into a config.
 
         Accepts exactly the keyword arguments of
         :meth:`FederatedTrainer.__init__ <repro.core.server.FederatedTrainer>`
-        (minus ``dataset``/``model``/``solver``/``callbacks``); unknown
-        names raise ``TypeError`` so typos fail loudly.
+        (minus ``dataset``/``model``/``solver``/``callbacks``) — including
+        the new ``engine=``/``evaluation=`` sub-config objects and the
+        legacy flat spellings they replace; unknown names raise
+        ``TypeError`` so typos fail loudly.
         """
         sections: Dict[str, Dict[str, Any]] = {
             "optimization": {},
@@ -246,29 +509,76 @@ class TrainerConfig:
             "diagnostics": {},
         }
         top: Dict[str, Any] = {}
+        engine = kwargs.pop("engine", None)
+        executor = kwargs.pop("executor", None)
+        evaluation = kwargs.pop("evaluation", None)
+        if engine is not None and executor is not None:
+            raise TypeError(
+                "pass the execution engine either via engine= or the legacy "
+                "executor= spec, not both"
+            )
         for name, value in kwargs.items():
-            if name in ("seed", "executor", "label"):
+            if name in ("seed", "label"):
                 top[name] = value
             elif name in _KWARG_MAP:
                 section, attr = _KWARG_MAP[name]
                 sections[section][attr] = value
             else:
                 raise TypeError(f"unknown trainer option {name!r}")
+        if evaluation is not None and sections["evaluation"]:
+            raise TypeError(
+                "pass evaluation settings either via evaluation= or the "
+                "flat eval_* kwargs, not both"
+            )
+        eval_cfg = (
+            evaluation
+            if isinstance(evaluation, EvalConfig)
+            else EvalConfig(**sections["evaluation"])
+        )
         return cls(
             optimization=OptimizationConfig(**sections["optimization"]),
             cohorting=CohortConfig(**sections["cohorting"]),
-            evaluation=EvaluationConfig(**sections["evaluation"]),
+            evaluation=eval_cfg,
+            engine=EngineConfig.resolve(engine if engine is not None else executor),
             diagnostics=DiagnosticsConfig(**sections["diagnostics"]),
             **top,
         )
 
     def to_kwargs(self) -> Dict[str, Any]:
-        """The flat kwargs reconstructing this config's trainer."""
+        """The *legacy* flat kwargs reconstructing this config's trainer.
+
+        Kept for backward compatibility (sweep code indexes it by the flat
+        names); constructing a trainer from it fires the one-shot
+        deprecation warnings — internal callers use
+        :meth:`trainer_kwargs` instead.
+        """
         kwargs: Dict[str, Any] = {}
         for name, (section, attr) in _KWARG_MAP.items():
             kwargs[name] = getattr(getattr(self, section), attr)
         kwargs["seed"] = self.seed
-        kwargs["executor"] = self.executor
+        kwargs["executor"] = (
+            self.engine.instance
+            if self.engine.instance is not None
+            else self.engine.spec()
+        )
+        kwargs["label"] = self.label
+        return kwargs
+
+    def trainer_kwargs(self) -> Dict[str, Any]:
+        """New-style constructor kwargs: sub-config objects, no deprecations.
+
+        What :meth:`FederatedTrainer.from_config
+        <repro.core.server.FederatedTrainer.from_config>` unpacks — the
+        evaluation and engine sections travel as their config objects.
+        """
+        kwargs: Dict[str, Any] = {}
+        for name, (section, attr) in _KWARG_MAP.items():
+            if section == "evaluation":
+                continue
+            kwargs[name] = getattr(getattr(self, section), attr)
+        kwargs["evaluation"] = self.evaluation
+        kwargs["engine"] = self.engine
+        kwargs["seed"] = self.seed
         kwargs["label"] = self.label
         return kwargs
 
@@ -278,8 +588,9 @@ class TrainerConfig:
 
         Scalar fields serialize verbatim; fault schedules, fault policies,
         and the built-in systems models serialize to reconstructible dict
-        specs.  Other objects (custom sampling schemes, live telemetry,
-        executor instances) are described by class name only —
+        specs; the engine section serializes its full parameterization
+        (minus any prebuilt instance).  Other objects (custom sampling
+        schemes, live telemetry) are described by class name only —
         :meth:`from_dict` refuses those, keeping the round-trip honest.
         """
         out: Dict[str, Any] = {}
@@ -289,12 +600,8 @@ class TrainerConfig:
                 f.name: _describe_object(getattr(section, f.name))
                 for f in fields(section)
             }
+        out["engine"] = self.engine.to_dict()
         out["seed"] = self.seed
-        out["executor"] = (
-            self.executor
-            if self.executor is None or isinstance(self.executor, str)
-            else type(self.executor).__name__
-        )
         out["label"] = self.label
         return out
 
@@ -305,40 +612,78 @@ class TrainerConfig:
         Lossless for configs whose object-valued fields are ``None`` or
         reconstructible specs (fault schedules/policies, built-in systems
         models); raises ``ValueError`` for descriptions of objects that
-        cannot be rebuilt from scalars.
+        cannot be rebuilt from scalars.  Accepts pre-redesign dicts too:
+        a top-level ``"executor"`` spec string (instead of the ``engine``
+        section) and legacy ``eval_*`` field names inside ``evaluation``.
         """
         section_classes = {
             "optimization": OptimizationConfig,
             "cohorting": CohortConfig,
-            "evaluation": EvaluationConfig,
+            "evaluation": EvalConfig,
             "diagnostics": DiagnosticsConfig,
         }
         built: Dict[str, Any] = {}
         for section_name, section_cls in section_classes.items():
             values = dict(spec.get(section_name, {}))
+            if section_name == "evaluation":
+                values = {
+                    EVAL_FIELD_RENAMES.get(k, k): v for k, v in values.items()
+                }
             restored = {
                 name: _restore_object(section_name, name, value)
                 for name, value in values.items()
             }
             built[section_name] = section_cls(**restored)
+        engine_spec = spec.get("engine")
+        if isinstance(engine_spec, dict):
+            engine = EngineConfig.from_dict(engine_spec)
+        else:
+            # Pre-redesign manifests carried a flat executor spec string
+            # (or an instance's class name, which resolve() rejects loudly).
+            engine = EngineConfig.resolve(spec.get("executor"))
         return cls(
             seed=spec.get("seed", 0),
-            executor=spec.get("executor"),
             label=spec.get("label", ""),
+            engine=engine,
             **built,
         )
 
     # Ergonomics ----------------------------------------------------------- #
     def replace(self, **kwargs: Any) -> "TrainerConfig":
-        """A copy with flat trainer options replaced (config is frozen).
+        """A copy with trainer options replaced (config is frozen).
 
-        Accepts the same names as :meth:`from_kwargs` — section routing is
-        handled internally, so ``config.replace(mu=1.0, eval_every=5)``
-        works without touching sub-sections.
+        Accepts the same names as :meth:`from_kwargs` — flat legacy names
+        (``config.replace(mu=1.0, eval_every=5)``), executor spec strings
+        (``config.replace(executor="async:window=2")``), and whole
+        sub-config objects (``config.replace(engine=EngineConfig(...))``).
         """
-        flat = self.to_kwargs()
+        updated = self
+        if "engine" in kwargs and "executor" in kwargs:
+            raise TypeError(
+                "pass the execution engine either via engine= or the legacy "
+                "executor= spec, not both"
+            )
+        if "engine" in kwargs or "executor" in kwargs:
+            value = kwargs.pop("engine", None) or kwargs.pop("executor", None)
+            updated = dc_replace(updated, engine=EngineConfig.resolve(value))
+        if "evaluation" in kwargs:
+            evaluation = kwargs.pop("evaluation")
+            if not isinstance(evaluation, EvalConfig):
+                raise TypeError(
+                    f"evaluation must be an EvalConfig, got "
+                    f"{type(evaluation).__name__}"
+                )
+            updated = dc_replace(updated, evaluation=evaluation)
         for name, value in kwargs.items():
-            if name not in flat:
+            if name in ("seed", "label"):
+                updated = dc_replace(updated, **{name: value})
+            elif name in _KWARG_MAP:
+                section_name, attr = _KWARG_MAP[name]
+                section = getattr(updated, section_name)
+                updated = dc_replace(
+                    updated,
+                    **{section_name: dc_replace(section, **{attr: value})},
+                )
+            else:
                 raise TypeError(f"unknown trainer option {name!r}")
-            flat[name] = value
-        return TrainerConfig.from_kwargs(**flat)
+        return updated

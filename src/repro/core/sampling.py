@@ -19,7 +19,7 @@ paper fixes selected devices across all compared runs.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +49,10 @@ class SamplingScheme(abc.ABC):
 
     @abc.abstractmethod
     def aggregate(
-        self, updates: Sequence[Tuple[int, np.ndarray]], w_previous: np.ndarray
+        self,
+        updates: Sequence[Tuple[int, np.ndarray]],
+        w_previous: np.ndarray,
+        discounts: Optional[Sequence[float]] = None,
     ) -> np.ndarray:
         """Combine device updates into the next global model.
 
@@ -61,6 +64,13 @@ class SamplingScheme(abc.ABC):
         w_previous:
             Current global model, returned unchanged when ``updates`` is
             empty (e.g. FedAvg dropped every selected device).
+        discounts:
+            Optional per-update staleness discounts from the async engine
+            (one multiplicative factor per update, 1.0 = fresh).  Folded
+            into the scheme's aggregation weights and renormalized, so the
+            aggregate stays a convex combination of the delivered
+            iterates.  ``None`` (every synchronous round) preserves the
+            historical arithmetic bit-for-bit.
         """
 
 
@@ -75,7 +85,10 @@ class UniformSamplingWeightedAverage(SamplingScheme):
         return sorted(int(c) for c in chosen)
 
     def aggregate(
-        self, updates: Sequence[Tuple[int, np.ndarray]], w_previous: np.ndarray
+        self,
+        updates: Sequence[Tuple[int, np.ndarray]],
+        w_previous: np.ndarray,
+        discounts: Optional[Sequence[float]] = None,
     ) -> np.ndarray:
         if not updates:
             return w_previous
@@ -93,6 +106,8 @@ class UniformSamplingWeightedAverage(SamplingScheme):
                 [self.dataset[cid].num_train for cid, _ in updates],
                 dtype=np.float64,
             )
+        if discounts is not None:
+            weights = weights * np.asarray(discounts, dtype=np.float64)
         weights /= weights.sum()
         stacked = np.stack([w for _, w in updates])
         return weights @ stacked
@@ -119,9 +134,16 @@ class WeightedSamplingSimpleAverage(SamplingScheme):
         return [int(c) for c in chosen]
 
     def aggregate(
-        self, updates: Sequence[Tuple[int, np.ndarray]], w_previous: np.ndarray
+        self,
+        updates: Sequence[Tuple[int, np.ndarray]],
+        w_previous: np.ndarray,
+        discounts: Optional[Sequence[float]] = None,
     ) -> np.ndarray:
         if not updates:
             return w_previous
         stacked = np.stack([w for _, w in updates])
+        if discounts is not None:
+            weights = np.asarray(discounts, dtype=np.float64)
+            weights = weights / weights.sum()
+            return weights @ stacked
         return stacked.mean(axis=0)

@@ -38,7 +38,7 @@ from ..faults.policy import FaultPolicy
 from ..models.base import FederatedModel
 from ..optim.base import LocalSolver
 from ..runtime.evaluation import no_test_samples_error
-from ..runtime.executor import LocalTask, RoundExecutor, SerialExecutor
+from ..runtime.executor import LocalTask, RoundExecutor
 from ..runtime.sampled import SampledEvaluator
 from ..systems.costs import CostTracker
 from ..systems.stragglers import NoHeterogeneity, SystemsModel
@@ -53,7 +53,14 @@ from ..telemetry import (
 from .adaptive_mu import AdaptiveMuController
 from .callbacks import Callback
 from .client import Client, ClientPool, ClientUpdate
-from .config import TrainerConfig
+from .config import (
+    _UNSET,
+    EngineConfig,
+    EvalConfig,
+    TrainerConfig,
+    resolve_eval_config,
+    warn_deprecated_kwarg,
+)
 from .dissimilarity import DissimilarityReport, measure_dissimilarity
 from .history import RoundRecord, TrainingHistory
 from .sampling import SamplingScheme, UniformSamplingWeightedAverage
@@ -137,31 +144,17 @@ class FederatedTrainer:
         from the second round onward.
     seed:
         Seed for mini-batch order derivation.
-    eval_every:
-        Evaluate test accuracy (and dissimilarity) every this many rounds.
-    eval_test:
-        Disable to skip test-set evaluation entirely.
-    eval:
-        Evaluation strategy — ``"full"`` (exhaustive over every device,
-        the historical behavior and default) or ``"sampled"``
-        (size-stratified per-round subsample with 95% confidence
-        intervals; see :class:`~repro.runtime.sampled.SampledEvaluator`).
-        Sampled evaluation is what makes 10^5+-device federations
-        tractable: evaluation cost drops from O(N) to O(sample size) per
-        round, with periodic exhaustive checkpoints anchoring the series.
-    eval_sample_size:
-        Devices evaluated per round under ``eval="sampled"``.
-    eval_strata:
-        Size strata for the stratified sampler (sampled evaluation only).
-    eval_full_every:
-        Under sampled evaluation, take an exhaustive full-evaluation
-        checkpoint every this many rounds (0 disables checkpoints).
-    eval_train_every:
-        Evaluate the global training loss every this many rounds;
-        intermediate rounds record ``train_loss=None`` explicitly.  Forced
-        to every round while an adaptive-µ controller is active (the
-        controller consumes the loss).  Independent of ``eval_every``,
-        which gates test accuracy.
+    evaluation:
+        An :class:`~repro.core.config.EvalConfig` grouping every
+        evaluation knob: cadence (``every`` / ``train_every``), strategy
+        (``"full"`` exhaustive or ``"sampled"`` stratified subsample with
+        confidence intervals — see
+        :class:`~repro.runtime.sampled.SampledEvaluator`), the sampled
+        strategy's ``sample_size`` / ``strata`` / ``full_every``, and the
+        evaluation kernel ``mode``.  The flat ``eval_*`` / ``eval_mode``
+        keyword arguments below remain accepted behind one-shot
+        ``DeprecationWarning``s (passing both forms is a ``TypeError``);
+        see DESIGN.md §16 for the migration table.
     track_dissimilarity:
         Record the gradient-variance dissimilarity each evaluation round.
     track_gamma:
@@ -177,24 +170,22 @@ class FederatedTrainer:
         Per-round observers; any callback returning ``True`` from
         ``on_round_end`` stops :meth:`run` early (e.g.
         :class:`~repro.core.callbacks.EarlyStopping`).
-    executor:
-        Round execution engine; defaults to
-        :class:`~repro.runtime.executor.SerialExecutor`.  Accepts either a
-        :class:`~repro.runtime.executor.RoundExecutor` instance or a spec
-        string parsed by :func:`repro.runtime.make_executor` — ``"serial"``,
-        ``"parallel"`` / ``"parallel:N"`` / ``"parallel:auto"`` (persistent
-        worker processes, optionally with the worker count), or
-        ``"cohort"`` (all selected clients' local solves advanced
-        simultaneously through stacked NumPy kernels; requires a model
-        advertising ``supports_stacked_local_solve`` and a solver
-        advertising ``supports_stacked_solve``).  All engines yield
-        bit-comparable histories (see :mod:`repro.runtime`).  Call
+    engine:
+        The round execution engine: an
+        :class:`~repro.core.config.EngineConfig`, an executor spec string
+        (``"serial"``, ``"parallel[:N|:auto]"``, ``"cohort"``, or
+        ``"async:window=W,discount=poly,..."`` — see
+        :data:`repro.runtime.EXECUTOR_MODES` for the grammar), or a
+        prebuilt :class:`~repro.runtime.executor.RoundExecutor` instance.
+        Defaults to serial in-process execution.  The synchronous engines
+        yield bit-identical histories for the same configuration; the
+        async engine (:mod:`repro.runtime.async_engine`) aggregates under
+        a bounded-staleness window with staleness-discounted weights and
+        matches serial bit-for-bit only in its degenerate ``window=0``
+        synchronized mode.  The legacy flat ``executor=`` keyword remains
+        accepted behind a one-shot ``DeprecationWarning``.  Call
         :meth:`close` (or use the trainer as a context manager) to release
         executor resources.
-    eval_mode:
-        Federation evaluation strategy — ``"auto"`` (default; vectorized
-        stacked evaluation when the model supports it), ``"per_client"``
-        (legacy per-device loop), or ``"stacked"``.
     telemetry:
         Instrumentation for this run (see :mod:`repro.telemetry`): a
         :class:`~repro.telemetry.Telemetry` emits a run manifest, spans
@@ -225,20 +216,22 @@ class FederatedTrainer:
         fault_policy: Optional[FaultPolicy] = None,
         mu_controller: Optional[AdaptiveMuController] = None,
         seed: int = 0,
-        eval_every: int = 1,
-        eval_test: bool = True,
-        eval: str = "full",
-        eval_sample_size: int = 100,
-        eval_strata: int = 10,
-        eval_full_every: int = 0,
-        eval_train_every: int = 1,
+        engine: Optional[Union[EngineConfig, RoundExecutor, str]] = None,
+        evaluation: Optional[EvalConfig] = None,
+        eval_every=_UNSET,
+        eval_test=_UNSET,
+        eval=_UNSET,
+        eval_sample_size=_UNSET,
+        eval_strata=_UNSET,
+        eval_full_every=_UNSET,
+        eval_train_every=_UNSET,
         track_dissimilarity: bool = False,
         track_gamma: bool = False,
         dissimilarity_max_clients: Optional[int] = None,
         cost_tracker: Optional[CostTracker] = None,
         callbacks: Optional[List[Callback]] = None,
-        executor: Optional[Union[RoundExecutor, str]] = None,
-        eval_mode: str = "auto",
+        executor=_UNSET,
+        eval_mode=_UNSET,
         telemetry=None,
         label: str = "",
     ) -> None:
@@ -246,6 +239,35 @@ class FederatedTrainer:
             raise ValueError("mu must be non-negative")
         if epochs <= 0:
             raise ValueError("epochs must be positive")
+        # Deprecation shims: the flat eval_*/executor keywords route into
+        # the grouped sub-configs; passing both forms is ambiguous and
+        # rejected outright.
+        eval_overrides = {
+            name: value
+            for name, value in (
+                ("eval_every", eval_every),
+                ("eval_test", eval_test),
+                ("eval_mode", eval_mode),
+                ("eval", eval),
+                ("eval_sample_size", eval_sample_size),
+                ("eval_strata", eval_strata),
+                ("eval_full_every", eval_full_every),
+                ("eval_train_every", eval_train_every),
+            )
+            if value is not _UNSET
+        }
+        eval_config = resolve_eval_config(evaluation, eval_overrides)
+        if executor is not _UNSET and engine is not None:
+            raise TypeError(
+                "pass the execution engine either via engine= or the legacy "
+                "executor= keyword, not both"
+            )
+        if executor is not _UNSET:
+            warn_deprecated_kwarg(
+                "executor", "pass engine= (an EngineConfig, spec string, or "
+                "RoundExecutor) instead"
+            )
+            engine = executor
         self.dataset = dataset
         self.model = model
         self.solver = solver
@@ -267,21 +289,16 @@ class FederatedTrainer:
         if mu_controller is not None:
             self.mu = mu_controller.mu
         self.seed = int(seed)
-        self.eval_every = int(eval_every)
-        self.eval_test = bool(eval_test)
-        if eval not in ("full", "sampled"):
-            raise ValueError(
-                f"eval must be 'full' or 'sampled', got {eval!r}"
-            )
-        self.eval_strategy = eval
-        # Stored even under eval="full" so the run-ledger manifest always
-        # carries the complete evaluation configuration.
-        self.eval_sample_size = int(eval_sample_size)
-        self.eval_strata = int(eval_strata)
-        self.eval_full_every = int(eval_full_every)
-        if eval_train_every < 1:
-            raise ValueError("eval_train_every must be at least 1")
-        self.eval_train_every = int(eval_train_every)
+        self.eval_config = eval_config
+        self.eval_every = int(eval_config.every)
+        self.eval_test = bool(eval_config.test)
+        self.eval_strategy = eval_config.strategy
+        # Stored even under the full strategy so the run-ledger manifest
+        # always carries the complete evaluation configuration.
+        self.eval_sample_size = int(eval_config.sample_size)
+        self.eval_strata = int(eval_config.strata)
+        self.eval_full_every = int(eval_config.full_every)
+        self.eval_train_every = int(eval_config.train_every)
         self.track_dissimilarity = bool(track_dissimilarity)
         self.track_gamma = bool(track_gamma)
         self.dissimilarity_max_clients = dissimilarity_max_clients
@@ -308,19 +325,23 @@ class FederatedTrainer:
         # histories), lazy stores get transient per-access clients bounded
         # by the store's cache.
         self.clients: ClientPool = ClientPool(dataset, model, solver)
-        if isinstance(executor, str):
-            from ..runtime import make_executor
-
-            executor = make_executor(executor)
-        self.executor = executor or SerialExecutor()
+        self.engine_config = EngineConfig.resolve(engine)
+        self.executor = self.engine_config.build()
         self.executor.bind(
             dataset,
             model,
             solver,
             clients=self.clients,
-            eval_mode=eval_mode,
+            eval_mode=eval_config.mode,
             label=dataset.name,
             telemetry=self.telemetry,
+        )
+        # Hand the engine the simulated environment: the async engine
+        # resolves its arrival clock here (systems device profiles can
+        # drive check-in times; the trainer seed keeps seeded latency
+        # reproducible and replayable).  Synchronous engines ignore it.
+        self.executor.configure_environment(
+            systems=self.systems, seed=self.seed, epochs=self.epochs
         )
         self.eval_mode = self.executor.eval_mode
         # Sampled evaluation runs in-process through the client pool (the
@@ -334,10 +355,10 @@ class FederatedTrainer:
                 self.clients,
                 dataset.train_sizes,
                 dataset.test_sizes,
-                sample_size=eval_sample_size,
-                num_strata=eval_strata,
+                sample_size=self.eval_sample_size,
+                num_strata=self.eval_strata,
                 seed=self.seed,
-                full_every=eval_full_every,
+                full_every=self.eval_full_every,
                 full_oracle=self.executor,
                 label=dataset.name,
                 telemetry=self.telemetry,
@@ -380,7 +401,10 @@ class FederatedTrainer:
             raise TypeError(
                 f"config must be a TrainerConfig, got {type(config).__name__}"
             )
-        return cls(dataset, model, solver, callbacks=callbacks, **config.to_kwargs())
+        return cls(
+            dataset, model, solver, callbacks=callbacks,
+            **config.trainer_kwargs(),
+        )
 
     def describe(self) -> str:
         """Canonical display name for this configuration."""
@@ -392,11 +416,27 @@ class FederatedTrainer:
 
     @property
     def executor_mode(self) -> str:
-        """Short executor mode name (``serial``/``parallel``/``cohort``)."""
+        """Short engine mode name (``serial``/``parallel``/``cohort``/``async``)."""
         name = type(self.executor).__name__
         if name.endswith("Executor"):
             name = name[: -len("Executor")]
         return name.lower()
+
+    def _ledger_engine(self) -> EngineConfig:
+        """The live executor's full parameterization for the run ledger.
+
+        Recovered from the executor itself (not the construction-time
+        config) so a prebuilt instance serializes identically to its spec
+        string; executors outside the spec grammar degrade to a bare mode
+        name.
+        """
+        spec = getattr(self.executor, "spec", None)
+        if callable(spec):
+            try:
+                return EngineConfig.from_spec(spec())
+            except (TypeError, ValueError):
+                pass
+        return EngineConfig(mode=self.executor_mode)
 
     def _emit_manifest_once(self) -> None:
         """Emit the run-header manifest before the first round's events."""
@@ -475,7 +515,7 @@ class FederatedTrainer:
             telemetry=None,
             cost_tracker=None,
             seed=self.seed,
-            executor=self.executor_mode,
+            engine=self._ledger_engine(),
             label=self.label,
         )
         return config.to_dict()
@@ -574,6 +614,7 @@ class FederatedTrainer:
                 build_task,
                 self.executor.run_local_solves,
                 num_selected=len(selected),
+                always_dispatch=getattr(self.executor, "continuous", False),
             )
             dropped.extend(report.dropped)
             self._last_fault_report = report
@@ -647,6 +688,9 @@ class FederatedTrainer:
         # below — never inflates the reported round duration: the phase
         # spans tile the round span.
         t_round = time.perf_counter() if telemetry.enabled else 0.0
+        # Continuous engines advance their simulated clock per round even
+        # when the round contributes no new tasks (a no-op hook otherwise).
+        self.executor.begin_round(round_idx)
         with telemetry.span("phase:select", round_idx=round_idx):
             selected = self.sampling.select(round_idx)
         w_start = self.w
@@ -658,7 +702,17 @@ class FederatedTrainer:
             )
         with telemetry.span("phase:aggregate", round_idx=round_idx):
             accepted = [(u.client_id, u.w) for u in updates]
-            self.w = self.sampling.aggregate(accepted, self.w)
+            discounts = [getattr(u, "discount", 1.0) for u in updates]
+            if any(d != 1.0 for d in discounts):
+                # Only the async engine stamps discounts != 1; keeping the
+                # two-argument call on every synchronous round preserves
+                # historical aggregation arithmetic bit-for-bit (and custom
+                # schemes without the discounts kwarg keep working).
+                self.w = self.sampling.aggregate(
+                    accepted, self.w, discounts=discounts
+                )
+            else:
+                self.w = self.sampling.aggregate(accepted, self.w)
             self.model.set_params(self.w)
 
         with telemetry.span("phase:evaluate", round_idx=round_idx):

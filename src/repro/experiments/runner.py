@@ -130,7 +130,7 @@ def build_trainer(
         label=spec.label,
     )
     if spec.feddane:
-        kwargs = config.to_kwargs()
+        kwargs = config.trainer_kwargs()
         kwargs.pop("mu_controller")
         return FedDaneTrainer(
             dataset=workload.dataset,

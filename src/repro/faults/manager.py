@@ -133,6 +133,7 @@ class FaultManager:
         build_task: Callable[[int, float, int, Tuple[int, ...], Optional[FaultDecision]], object],
         dispatch: Callable[[Sequence[object]], List[object]],
         num_selected: int,
+        always_dispatch: bool = False,
     ) -> Tuple[List[object], RoundFaultReport]:
         """Run one round's solves under the fault schedule and policy.
 
@@ -150,6 +151,10 @@ class FaultManager:
             The bound executor's ``run_local_solves``.
         num_selected:
             Size of the round's selection (the quorum denominator).
+        always_dispatch:
+            Dispatch even when every pending solve was skipped (set for
+            continuous engines: the async executor may still deliver
+            queued check-ins from earlier rounds).
 
         Returns
         -------
@@ -157,6 +162,17 @@ class FaultManager:
             Updates surviving the policy, in dispatch order (stale
             deliveries appended last), and the round's fault report.
             ``updates`` is empty when the quorum guard degraded the round.
+
+        Asynchronous dispatch
+        ---------------------
+        A continuous engine may return *fewer* updates than tasks (some
+        check-ins still in flight) or *more* (earlier rounds' check-ins
+        delivering now).  Fault decisions ride on the tasks themselves, so
+        they apply per check-in regardless of delivery round; the manager
+        re-pairs delivered updates with their pending entries by client id
+        and books late deliveries under synthetic entries.  Synchronous
+        executors always return exactly one update per task, keeping the
+        historical 1:1 pairing (and its arithmetic) untouched.
         """
         policy = self.policy
         report = RoundFaultReport()
@@ -183,7 +199,9 @@ class FaultManager:
                 continue
             tasks.append(build_task(cid, epochs, occurrence, (), decision))
             entries.append((cid, epochs, occurrence))
-        updates = list(dispatch(tasks)) if tasks else []
+        updates = list(dispatch(tasks)) if tasks or always_dispatch else []
+        if len(updates) != len(entries):
+            entries = self._repair_entries(updates, entries)
 
         # 2. Resolve crashes per policy.
         crashed_idx = [
@@ -270,6 +288,33 @@ class FaultManager:
             updates = []
         return updates, report
 
+    # Asynchronous delivery ------------------------------------------------ #
+    @staticmethod
+    def _repair_entries(
+        updates: List[object], entries: List[PendingSolve]
+    ) -> List[PendingSolve]:
+        """Re-pair delivered updates with pending entries by client id.
+
+        Only reached under asynchronous dispatch (synchronous executors
+        return one update per task).  Updates matching a pending entry
+        inherit it; deliveries from earlier rounds get a synthetic entry
+        carrying the update's own executed budget (what a retry of that
+        client would reasonably re-run).  Entries whose check-in is still
+        in flight simply drop out — their updates surface, and are
+        policy-resolved, in a later round.
+        """
+        by_cid: Dict[int, List[PendingSolve]] = {}
+        for entry in entries:
+            by_cid.setdefault(entry[0], []).append(entry)
+        repaired: List[PendingSolve] = []
+        for update in updates:
+            candidates = by_cid.get(update.client_id)
+            if candidates:
+                repaired.append(candidates.pop(0))
+            else:
+                repaired.append((update.client_id, update.epochs, 0))
+        return repaired
+
     # Crash retries -------------------------------------------------------- #
     def _retry_crashed(
         self,
@@ -326,13 +371,33 @@ class FaultManager:
                 )
                 wave_idx.append(i)
             wave_updates = list(dispatch(wave_tasks)) if wave_tasks else []
-            for i, update in zip(wave_idx, wave_updates):
+            if len(wave_updates) == len(wave_idx):
+                pairs = list(zip(wave_idx, wave_updates))
+                extras: List[object] = []
+            else:
+                # Asynchronous dispatch: pair retry deliveries with their
+                # wave slots by client id; anything else is an earlier
+                # check-in surfacing mid-retry — accepted as a fresh row.
+                slots: Dict[int, List[int]] = {}
+                for i in wave_idx:
+                    slots.setdefault(entries[i][0], []).append(i)
+                pairs, extras = [], []
+                for update in wave_updates:
+                    candidates = slots.get(update.client_id)
+                    if candidates:
+                        pairs.append((candidates.pop(0), update))
+                    else:
+                        extras.append(update)
+            for i, update in pairs:
                 if update.fault is not None and update.fault.kind == "crash":
                     self.stats.crashes += 1
                     failed[i] = update  # fresher partial iterate
                 else:
                     updates[i] = update
                     del failed[i]
+            for update in extras:
+                updates.append(update)
+                entries.append((update.client_id, update.epochs, 0))
         if failed:
             if policy.after_retries == "drop":
                 for i in sorted(failed):

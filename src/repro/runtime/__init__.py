@@ -10,8 +10,13 @@ and federation-level evaluation — to a :class:`RoundExecutor`:
 * :class:`CohortExecutor` — in-process *stacked* execution: all selected
   clients' proximal SGD epochs advance simultaneously through batched
   ``(K, d)`` NumPy kernels (the local-solve hot path's fast path).
+* :class:`AsyncExecutor` — event-driven bounded-staleness engine: clients
+  check in continuously on a simulated clock, updates aggregate with
+  staleness-discounted weights (see :mod:`repro.runtime.async_engine`).
 
-All produce bit-comparable training histories for the same configuration;
+All produce bit-comparable training histories for the same configuration
+(the async engine's ``window=0`` synchronized mode is bit-identical to
+serial; its stale modes are deterministic but intentionally different);
 see :mod:`repro.runtime.executor` for the determinism contract,
 :mod:`repro.runtime.cohort` for the stacked local-solve fast path, and
 :mod:`repro.runtime.evaluation` for the vectorized evaluation fast paths.
@@ -24,6 +29,7 @@ spans survive the process boundary), and the cohort executor adds stacked
 kernel phase-split spans.
 """
 
+from .async_engine import AsyncExecutor
 from .cohort import CohortExecutor, solve_cohort
 from .evaluation import (
     EVAL_MODES,
@@ -37,9 +43,10 @@ from .parallel import ParallelExecutor
 from .sampled import EvalEstimate, SampledEvaluator, StratifiedClientSampler
 
 #: The executor spec grammar: mode name -> accepted spec strings.  A spec
-#: is ``mode`` or ``mode:argument``; only ``parallel`` takes an argument
-#: (its worker count).  ``make_executor`` and the trainer's ``executor=``
-#: option accept exactly these strings.
+#: is ``mode`` or ``mode:argument``; ``parallel`` takes a worker count and
+#: ``async`` a comma-separated ``key=value`` list.  ``make_executor`` and
+#: the trainer's ``engine=``/``executor=`` options accept exactly these
+#: strings, and :meth:`repro.core.config.EngineConfig.spec` emits them.
 EXECUTOR_MODES = {
     "serial": 'spec "serial" — in-process sequential execution (default)',
     "parallel": (
@@ -51,32 +58,95 @@ EXECUTOR_MODES = {
         'spec "cohort" — stacked (K, d) NumPy kernels advancing all '
         "selected clients simultaneously"
     ),
+    "async": (
+        'specs "async" or "async:key=value,..." — event-driven '
+        "bounded-staleness engine; keys: window (max model-version lag), "
+        "discount (poly|const), power, factor, capacity (in-flight queue "
+        "bound), arrivals (synchronized|seeded|systems), latency, jitter, "
+        'seed — e.g. "async:window=2,discount=poly,arrivals=seeded"'
+    ),
 }
+
+#: async spec keys -> (AsyncExecutor kwarg, value parser).
+_ASYNC_SPEC_KEYS = {
+    "window": ("window", int),
+    "discount": ("discount", str),
+    "power": ("discount_power", float),
+    "factor": ("discount_factor", float),
+    "capacity": ("capacity", int),
+    "arrivals": ("arrivals", str),
+    "latency": ("latency", float),
+    "jitter": ("jitter", float),
+    "seed": ("clock_seed", int),
+}
+
+_SPEC_EXAMPLES = (
+    '"serial", "parallel:4", "parallel:auto", "cohort", '
+    '"async:window=2,discount=poly"'
+)
+
+
+def _parse_async_argument(spec: str, argument: str) -> dict:
+    """Parse the ``key=value,...`` argument of an ``async:`` spec."""
+    kwargs = {}
+    for item in argument.split(","):
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(
+                f"malformed async option {item!r} in executor spec {spec!r}; "
+                'expected comma-separated key=value pairs, e.g. '
+                '"async:window=2,discount=poly"'
+            )
+        if key not in _ASYNC_SPEC_KEYS:
+            raise ValueError(
+                f"unknown async option {key!r} in executor spec {spec!r}; "
+                f"valid keys: {tuple(_ASYNC_SPEC_KEYS)}"
+            )
+        name, parse = _ASYNC_SPEC_KEYS[key]
+        if name in kwargs:
+            raise ValueError(
+                f"duplicate async option {key!r} in executor spec {spec!r}"
+            )
+        try:
+            kwargs[name] = parse(value.strip())
+        except ValueError:
+            raise ValueError(
+                f"bad value {value.strip()!r} for async option {key!r} in "
+                f"executor spec {spec!r}; expected {parse.__name__}"
+            ) from None
+    return kwargs
 
 
 def parse_executor_spec(spec: str):
     """Parse an executor spec string into ``(mode, kwargs)``.
 
-    The single place worker counts are parsed: ``"parallel:4"`` →
+    The single place executor arguments are parsed: ``"parallel:4"`` →
     ``("parallel", {"n_workers": 4})``, ``"parallel:auto"`` →
-    ``("parallel", {"n_workers": "auto"})``.  ``serial``/``cohort`` take
-    no argument; an argument on them — or a malformed worker count — is a
-    ``ValueError``.
+    ``("parallel", {"n_workers": "auto"})``, and
+    ``"async:window=2,discount=poly"`` → ``("async", {"window": 2,
+    "discount": "poly"})`` with keys mapped to
+    :class:`~repro.runtime.async_engine.AsyncExecutor` constructor names.
+    ``serial``/``cohort`` take no argument.  Every rejection is a labeled
+    ``ValueError`` naming the valid modes and example specs.
     """
     if not isinstance(spec, str):
         raise TypeError(f"executor spec must be a string, got {type(spec).__name__}")
     mode, sep, argument = spec.partition(":")
     if mode not in EXECUTOR_MODES:
         raise ValueError(
-            f"unknown executor mode {mode!r}; expected one of "
-            f"{tuple(EXECUTOR_MODES)}"
+            f"unknown executor mode {mode!r}; valid modes are "
+            f"{tuple(EXECUTOR_MODES)} — example specs: {_SPEC_EXAMPLES}"
         )
     if not sep:
         return mode, {}
+    if mode == "async":
+        return mode, _parse_async_argument(spec, argument)
     if mode != "parallel":
         raise ValueError(
             f"executor mode {mode!r} takes no argument (got {spec!r}); "
-            'only "parallel:N" / "parallel:auto" are parameterized'
+            'only "parallel:N" / "parallel:auto" and "async:key=value,..." '
+            "are parameterized — example specs: " + _SPEC_EXAMPLES
         )
     if argument == "auto":
         return mode, {"n_workers": "auto"}
@@ -112,6 +182,8 @@ def make_executor(spec: str, **kwargs) -> RoundExecutor:
         return SerialExecutor(**kwargs)
     if mode == "parallel":
         return ParallelExecutor(**kwargs)
+    if mode == "async":
+        return AsyncExecutor(**kwargs)
     return CohortExecutor(**kwargs)
 
 
@@ -120,6 +192,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "CohortExecutor",
+    "AsyncExecutor",
     "solve_cohort",
     "make_executor",
     "parse_executor_spec",

@@ -190,11 +190,18 @@ class RoundExecutor(abc.ABC):
     """Executes batches of local solves and federation-level evaluation.
 
     Lifecycle: the trainer calls :meth:`bind` once with the federation,
-    shared model, and solver; afterwards :meth:`run_local_solves`,
-    :meth:`train_loss` and :meth:`test_accuracy` may be called every round.
-    Executors owning external resources release them in :meth:`close`
-    (also invoked by the context-manager protocol).
+    shared model, and solver, then :meth:`configure_environment` with the
+    run's systems model and seed; afterwards :meth:`begin_round`,
+    :meth:`run_local_solves`, :meth:`train_loss` and :meth:`test_accuracy`
+    may be called every round.  Executors owning external resources release
+    them in :meth:`close` (also invoked by the context-manager protocol).
     """
+
+    #: Continuous engines (``AsyncExecutor``) carry undelivered work across
+    #: rounds, so the trainer dispatches to them even on rounds where every
+    #: selected device was dropped or crashed — a synchronous executor with
+    #: no tasks has nothing to do.
+    continuous: bool = False
 
     def __init__(self) -> None:
         self.dataset: Optional["FederatedDataset"] = None
@@ -267,6 +274,36 @@ class RoundExecutor(abc.ABC):
 
     def _on_bind(self) -> None:
         """Hook for subclasses needing extra setup after :meth:`bind`."""
+
+    def configure_environment(
+        self, systems=None, seed: int = 0, epochs: float = 0.0
+    ) -> None:
+        """Receive the run's simulated environment (systems model, seed).
+
+        Called by the trainer once after :meth:`bind`.  Synchronous
+        executors ignore it; the async engine resolves its arrival clock
+        here (the systems model's device profiles can drive check-in
+        times, and the trainer seed keeps simulated latency reproducible).
+        """
+
+    def begin_round(self, round_idx: int) -> None:
+        """Note that round ``round_idx`` is starting (hook; no-op here).
+
+        Lets continuous engines advance their simulated clock even on
+        rounds that contribute no new tasks (mass churn, total crash).
+        """
+
+    def spec(self) -> str:
+        """The executor spec string reconstructing this executor.
+
+        The inverse of :func:`repro.runtime.make_executor` — what the run
+        ledger serializes so replay rebuilds an identically-parameterized
+        engine.
+        """
+        name = type(self).__name__
+        if name.endswith("Executor"):
+            name = name[: -len("Executor")]
+        return name.lower()
 
     def ensure_started(self) -> None:
         """Eagerly acquire any lazy resources (worker pools); idempotent."""

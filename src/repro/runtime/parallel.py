@@ -185,6 +185,9 @@ class ParallelExecutor(RoundExecutor):
     def n_workers(self) -> int:
         return self._n_workers
 
+    def spec(self) -> str:
+        return f"parallel:{self._n_workers}"
+
     # Lifecycle ---------------------------------------------------------- #
     def _on_bind(self) -> None:
         try:

@@ -1,6 +1,14 @@
 """Systems-heterogeneity simulation substrate."""
 
-from .clock import ClockDrivenSystems
+from .clock import (
+    Clock,
+    ClockDrivenSystems,
+    DeviceTiming,
+    SeededLatencyClock,
+    SynchronizedClock,
+    SystemsClock,
+    resolve_clock,
+)
 from .costs import CostTracker, RoundCost
 from .profiles import NETWORK_TIERS, DeviceProfile, sample_fleet
 from .trace import DeviceRoundTrace, RoundTimeline, trace_round
@@ -21,6 +29,12 @@ __all__ = [
     "FractionStragglers",
     "PowerLawStragglers",
     "ClockDrivenSystems",
+    "Clock",
+    "DeviceTiming",
+    "SynchronizedClock",
+    "SeededLatencyClock",
+    "SystemsClock",
+    "resolve_clock",
     "DeviceProfile",
     "sample_fleet",
     "NETWORK_TIERS",

@@ -19,8 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from .clock import ClockDrivenSystems
-from .profiles import DeviceProfile
+from .clock import ClockDrivenSystems, SystemsClock
 
 
 @dataclass(frozen=True)
@@ -99,27 +98,27 @@ def trace_round(
 ) -> RoundTimeline:
     """Reconstruct the clock timeline for one round of selected devices.
 
-    Uses the same deterministic jitter as
+    Durations come from the shared :class:`~repro.systems.clock.SystemsClock`
+    protocol — the same clock the async engine schedules check-ins with —
+    which itself uses the deterministic jitter of
     :meth:`ClockDrivenSystems.assign`, so the trace agrees with what the
     trainer actually simulated for the same ``(seed, round)``.
     """
+    clock = SystemsClock(systems)
     timeline = RoundTimeline(round_idx=round_idx, deadline=systems.deadline)
     for device_id in client_ids:
-        profile: DeviceProfile = systems.profiles[device_id]
-        comm = systems._communication_cycles(profile)
-        download = upload = comm / 2.0
         budget = systems.epochs_within_deadline(round_idx, device_id)
         completed = min(float(max_epochs), budget)
-        speed = profile.effective_speed() * systems._jitter(round_idx, device_id)
-        compute = completed / speed if speed > 0 else systems.deadline
+        timing = clock.timing(round_idx, device_id, completed)
+        comm = timing.download + timing.upload
         hit_deadline = completed < float(max_epochs)
         bottleneck = "network" if comm > 0.5 * systems.deadline else "compute"
         timeline.traces.append(
             DeviceRoundTrace(
                 device_id=device_id,
-                download_cycles=download,
-                upload_cycles=upload,
-                compute_cycles=compute,
+                download_cycles=timing.download,
+                upload_cycles=timing.upload,
+                compute_cycles=timing.compute,
                 epochs_completed=completed,
                 epochs_target=float(max_epochs),
                 hit_deadline=hit_deadline,

@@ -412,16 +412,18 @@ class TestExecutorModeDispatch:
     def test_make_executor_modes(self):
         from repro.runtime import (
             EXECUTOR_MODES,
+            AsyncExecutor as AE,
             CohortExecutor as CE,
             ParallelExecutor as PE,
             SerialExecutor as SE,
         )
 
-        assert tuple(EXECUTOR_MODES) == ("serial", "parallel", "cohort")
+        assert tuple(EXECUTOR_MODES) == ("serial", "parallel", "cohort", "async")
         assert all(isinstance(doc, str) for doc in EXECUTOR_MODES.values())
         assert isinstance(make_executor("serial"), SE)
         assert isinstance(make_executor("parallel", n_workers=1), PE)
         assert isinstance(make_executor("cohort"), CE)
+        assert isinstance(make_executor("async:window=2"), AE)
 
     def test_make_executor_spec_grammar(self):
         from repro.runtime import parse_executor_spec
