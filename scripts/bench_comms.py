@@ -1,0 +1,428 @@
+#!/usr/bin/env python
+"""Benchmark the update-codec subsystem: wire bytes, throughput, accuracy.
+
+Four sections, each landing in ``BENCH_comms.json``:
+
+``codecs``
+    Per-codec microbenchmark on synthetic delta vectors: exact wire bytes
+    per update, compression ratio over dense float64, and encode/decode
+    throughput in million coordinates per second.
+
+``parallel_ipc``
+    Round wall time on :class:`~repro.runtime.parallel.ParallelExecutor`
+    with dense updates vs the device-side encoded IPC fast path, where
+    each update crosses the process boundary as one contiguous wire
+    buffer instead of a dense float64 array.
+
+``async_delivery``
+    Bounded-staleness :class:`~repro.runtime.async_engine.AsyncExecutor`
+    under seeded log-normal arrivals at a fixed window: the simulated
+    upload time scales with each codec's actual wire bytes, so shrinking
+    the bit width converts missed-deadline discards into deliveries.
+    Rows report delivered/discarded counts per codec.
+
+``accuracy_vs_bytes``
+    FedProx on the paper's Synthetic(1,1) grid: final train loss and test
+    accuracy against cumulative uplink bytes for dense transport and each
+    codec with and without error feedback.  The headline row — the 8-bit
+    QSGD codec with error feedback — must cut uplink bytes by >= 4x while
+    staying within 1pp of dense final accuracy (asserted in ``--smoke``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_comms.py           # full sweep
+    PYTHONPATH=src python scripts/bench_comms.py --quick   # CI-sized
+    PYTHONPATH=src python scripts/bench_comms.py --smoke   # assert-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.comms import (  # noqa: E402
+    CastCodec,
+    CommsConfig,
+    IdentityCodec,
+    QSGDCodec,
+    TopKCodec,
+)
+from repro.core import EvalConfig, FederatedTrainer  # noqa: E402
+from repro.datasets import make_synthetic  # noqa: E402
+from repro.models import MultinomialLogisticRegression  # noqa: E402
+from repro.optim import SGDSolver  # noqa: E402
+from repro.telemetry import InMemorySink, Telemetry  # noqa: E402
+
+#: Arrival model for the async section — identical to bench_runtime's so
+#: delivered-update numbers are comparable across the two artifacts.
+ASYNC_ARRIVALS = "arrivals=seeded,latency=1.2,jitter=0.6"
+
+DENSE_BYTES = 8  # float64 per coordinate
+
+
+def codec_table(dim: int, repeats: int) -> List[dict]:
+    """Per-codec wire size and encode/decode throughput."""
+    delta = np.random.default_rng(0).normal(scale=0.05, size=dim)
+    entropy = (0, 0, 0, 0)
+    rows = []
+    for codec in (
+        IdentityCodec(),
+        CastCodec("fp32"),
+        CastCodec("fp16"),
+        QSGDCodec(bits=8),
+        QSGDCodec(bits=4),
+        QSGDCodec(bits=2),
+        TopKCodec(k=max(1, dim // 16)),
+    ):
+        payload = codec.encode_delta(delta, entropy)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            codec.encode_delta(delta, entropy)
+        encode_s = (time.perf_counter() - t0) / repeats
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            codec.decode_delta(payload, dim)
+        decode_s = (time.perf_counter() - t0) / repeats
+        rows.append(
+            {
+                "codec": codec.spec(),
+                "dim": dim,
+                "wire_bytes": payload.nbytes,
+                "dense_bytes": DENSE_BYTES * dim,
+                "compression_ratio": round(DENSE_BYTES * dim / payload.nbytes, 3),
+                "encode_mcoords_per_sec": round(dim / encode_s / 1e6, 2),
+                "decode_mcoords_per_sec": round(dim / decode_s / 1e6, 2),
+            }
+        )
+        print(
+            f"codec {codec.spec():10s} {payload.nbytes:8d}B "
+            f"({rows[-1]['compression_ratio']:6.2f}x)  "
+            f"enc {rows[-1]['encode_mcoords_per_sec']:8.2f} Mcoord/s  "
+            f"dec {rows[-1]['decode_mcoords_per_sec']:8.2f} Mcoord/s"
+        )
+    return rows
+
+
+def _trainer(dataset, engine=None, comms=None, telemetry=None, epochs=2.0,
+             rounds_eval=1, seed=0, label=None):
+    model = MultinomialLogisticRegression(dim=60, num_classes=10)
+    return FederatedTrainer(
+        dataset=dataset,
+        model=model,
+        solver=SGDSolver(0.01, batch_size=10),
+        mu=1.0,
+        clients_per_round=min(10, dataset.num_devices),
+        epochs=epochs,
+        seed=seed,
+        engine=engine,
+        comms=comms,
+        evaluation=EvalConfig(every=rounds_eval),
+        telemetry=telemetry,
+        label=label,
+    )
+
+
+def parallel_ipc_table(devices: int, rounds: int, workers: int) -> List[dict]:
+    """Parallel round time: dense IPC vs device-side encoded payloads."""
+    dataset = make_synthetic(1.0, 1.0, num_devices=devices, seed=0)
+    rows = []
+    for name, comms in (
+        ("dense", None),
+        ("qsgd8", "comms:codec=qsgd,bits=8"),
+        ("topk", "comms:codec=topk,k=64"),
+    ):
+        trainer = _trainer(
+            dataset, engine=f"parallel:{workers}", comms=comms,
+            rounds_eval=rounds + 2,
+        )
+        try:
+            trainer.executor.ensure_started()
+            trainer.run_round()  # pool warmup outside the clock
+            t0 = time.perf_counter()
+            trainer.run(rounds)
+            elapsed = time.perf_counter() - t0
+            stats = trainer.comms_stats
+        finally:
+            trainer.close()
+        rows.append(
+            {
+                "transport": name,
+                "devices": devices,
+                "workers": workers,
+                "rounds": rounds,
+                "seconds": round(elapsed, 4),
+                "rounds_per_sec": round(rounds / elapsed, 3),
+                "bytes_up": stats["bytes_up"],
+                "compression_ratio": round(stats["compression_ratio"], 3),
+            }
+        )
+        print(
+            f"parallel {name:8s} {rows[-1]['rounds_per_sec']:8.2f} rounds/s "
+            f"bytes_up={stats['bytes_up']:,.0f} "
+            f"ratio={stats['compression_ratio']:.2f}x"
+        )
+    return rows
+
+
+def async_delivery_table(devices: int, rounds: int, window: int) -> List[dict]:
+    """Delivered-update throughput as the codec bit width shrinks."""
+    dataset = make_synthetic(1.0, 1.0, num_devices=devices, seed=0)
+    rows = []
+    for name, comms in (
+        ("dense", None),
+        ("qsgd8", "comms:codec=qsgd,bits=8"),
+        ("qsgd4", "comms:codec=qsgd,bits=4"),
+        ("qsgd2", "comms:codec=qsgd,bits=2"),
+    ):
+        sink = InMemorySink()
+        trainer = _trainer(
+            dataset,
+            engine=f"async:window={window},{ASYNC_ARRIVALS}",
+            comms=comms,
+            telemetry=Telemetry([sink]),
+            rounds_eval=rounds + 2,
+        )
+        try:
+            t0 = time.perf_counter()
+            trainer.run(rounds)
+            elapsed = time.perf_counter() - t0
+            stats = trainer.comms_stats
+        finally:
+            trainer.close()
+        checkins = sink.spans("async:checkin")
+        delivered = len(checkins)
+        discarded = int(sum(e["value"] for e in sink.metrics("async.discard")))
+        rows.append(
+            {
+                "transport": name,
+                "devices": devices,
+                "window": window,
+                "rounds": rounds,
+                "delivered": delivered,
+                "discarded": discarded,
+                "delivered_per_sec": round(delivered / elapsed, 2),
+                "bytes_up": stats["bytes_up"],
+                "compression_ratio": round(stats["compression_ratio"], 3),
+            }
+        )
+        print(
+            f"async {name:8s} window={window}  delivered={delivered:4d} "
+            f"discarded={discarded:4d} ratio={stats['compression_ratio']:.2f}x"
+        )
+    return rows
+
+
+def accuracy_vs_bytes_table(devices: int, rounds: int) -> List[dict]:
+    """Final loss/accuracy against cumulative uplink bytes per transport."""
+    dataset = make_synthetic(1.0, 1.0, num_devices=devices, seed=0)
+    rows = []
+    for name, comms in (
+        ("dense", None),
+        ("fp16", "fp16"),
+        ("qsgd8", "comms:codec=qsgd,bits=8"),
+        ("qsgd8+ef", "comms:codec=qsgd,bits=8,ef=true"),
+        ("qsgd4", "comms:codec=qsgd,bits=4"),
+        ("qsgd4+ef", "comms:codec=qsgd,bits=4,ef=true"),
+        ("topk32", "comms:codec=topk,k=32"),
+        ("topk32+ef", "comms:codec=topk,k=32,ef=true"),
+    ):
+        trainer = _trainer(dataset, comms=comms, rounds_eval=rounds)
+        try:
+            history = trainer.run(rounds)
+            stats = trainer.comms_stats
+        finally:
+            trainer.close()
+        final = history.records[-1]
+        dense_up = stats["dense_bytes_up"] or stats["bytes_up"]
+        rows.append(
+            {
+                "transport": name,
+                "rounds": rounds,
+                "final_train_loss": round(final.train_loss, 6),
+                "final_test_accuracy": round(final.test_accuracy, 6),
+                "bytes_up": stats["bytes_up"],
+                "dense_bytes_up": dense_up,
+                "compression_ratio": round(stats["compression_ratio"], 3),
+                "error_feedback": name.endswith("+ef"),
+            }
+        )
+        print(
+            f"acc-vs-bytes {name:10s} loss={final.train_loss:.4f} "
+            f"acc={final.test_accuracy:.4f} "
+            f"bytes_up={stats['bytes_up']:,.0f} "
+            f"ratio={stats['compression_ratio']:.2f}x"
+        )
+    return rows
+
+
+def check_smoke(payload: dict, devices: int) -> None:
+    """Assert-only validation for CI wiring."""
+    # Identity-codec history parity: the full payload machinery must be
+    # an exact no-op on histories.
+    dataset = make_synthetic(1.0, 1.0, num_devices=devices, seed=0)
+    dense = _trainer(dataset, rounds_eval=1, seed=3)
+    try:
+        h_dense = dense.run(3)
+    finally:
+        dense.close()
+    ident = _trainer(dataset, comms="identity", rounds_eval=1, seed=3)
+    try:
+        h_ident = ident.run(3)
+        stats = ident.comms_stats
+    finally:
+        ident.close()
+    for r1, r2 in zip(h_dense.records, h_ident.records):
+        assert r1.train_loss == r2.train_loss, (r1, r2)
+        assert r1.test_accuracy == r2.test_accuracy, (r1, r2)
+    assert stats["compression_ratio"] == 1.0
+    assert stats["bytes_up"] > 0 and stats["bytes_down"] > 0
+
+    for row in payload["codecs"]["results"]:
+        assert row["wire_bytes"] > 0, row
+        assert row["encode_mcoords_per_sec"] > 0, row
+    qsgd8 = next(
+        r for r in payload["codecs"]["results"] if r["codec"] == "qsgd8"
+    )
+    assert qsgd8["compression_ratio"] >= 4.0, qsgd8
+
+    headline = next(
+        r
+        for r in payload["accuracy_vs_bytes"]["results"]
+        if r["transport"] == "qsgd8+ef"
+    )
+    dense_row = next(
+        r
+        for r in payload["accuracy_vs_bytes"]["results"]
+        if r["transport"] == "dense"
+    )
+    assert headline["compression_ratio"] >= 4.0, headline
+    assert (
+        dense_row["final_test_accuracy"] - headline["final_test_accuracy"]
+        <= 0.01
+    ), (dense_row, headline)
+
+    for row in payload["parallel_ipc"]["results"]:
+        assert row["rounds_per_sec"] > 0, row
+    async_rows = payload["async_delivery"]["results"]
+    dense_delivered = next(
+        r["delivered"] for r in async_rows if r["transport"] == "dense"
+    )
+    q2_delivered = next(
+        r["delivered"] for r in async_rows if r["transport"] == "qsgd2"
+    )
+    assert q2_delivered >= dense_delivered, (
+        "shrinking uploads must never reduce in-window deliveries"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--devices", type=int, default=100, help="federation size"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=20,
+        help="rounds for the accuracy-vs-bytes section",
+    )
+    parser.add_argument(
+        "--dim", type=int, default=100_000,
+        help="delta dimension for the codec microbenchmark",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="parallel workers"
+    )
+    parser.add_argument(
+        "--window", type=int, default=1, help="async staleness window"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: 30 devices, 10 rounds, small microbench",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smoke test: shrink further, assert, write no JSON",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_comms.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.devices, args.rounds, args.dim = 30, 10, 20_000
+    if args.smoke:
+        args.devices, args.rounds, args.dim = 20, 8, 5_000
+
+    repeats = 3 if (args.quick or args.smoke) else 10
+    timed_rounds = 2 if args.smoke else 3
+    payload = {
+        "benchmark": "communication-efficient update codecs",
+        "dataset": "synthetic(1,1)",
+        "cpu_count": os.cpu_count(),
+        "codecs": {
+            "dim": args.dim,
+            "repeats": repeats,
+            "results": codec_table(args.dim, repeats),
+        },
+        "parallel_ipc": {
+            "results": parallel_ipc_table(
+                args.devices, timed_rounds, args.workers
+            ),
+        },
+        "async_delivery": {
+            "arrivals": ASYNC_ARRIVALS,
+            "results": async_delivery_table(
+                args.devices, max(6, timed_rounds), args.window
+            ),
+        },
+        "accuracy_vs_bytes": {
+            "results": accuracy_vs_bytes_table(args.devices, args.rounds),
+        },
+        "notes": {
+            "byte_model": (
+                "bytes_up sums each delivered payload's exact wire size; "
+                "bytes_down books one dense float64 broadcast per "
+                "dispatched task (the downlink ships the uncompressed "
+                "global model regardless of codec). compression_ratio is "
+                "dense uplink bytes over actual uplink bytes."
+            ),
+            "async_delivery": (
+                "The async engine scales each task's simulated upload "
+                "time by wire_bytes/dense_bytes at admission, so lower "
+                "bit widths arrive sooner and convert missed-window "
+                "discards into deliveries — the delivered column rises "
+                "as bits shrink under identical arrival traffic."
+            ),
+            "error_feedback": (
+                "+ef rows accumulate each client's compression error and "
+                "add it to the next transmitted delta; the qsgd8+ef "
+                "headline row must stay within 1pp of dense accuracy at "
+                ">= 4x fewer uplink bytes (asserted by --smoke and CI)."
+            ),
+        },
+        "quick": bool(args.quick),
+        "generated_unix": int(time.time()),
+    }
+
+    if args.smoke:
+        check_smoke(payload, args.devices)
+        print("smoke OK: codec parity, compression floor, and delivery "
+              "monotonicity hold")
+        return 0
+
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

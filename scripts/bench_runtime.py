@@ -122,6 +122,7 @@ def build_trainer(
     telemetry=None,
     systems=None,
     eval_every: int = 1,
+    comms=None,
 ) -> FederatedTrainer:
     """One FedProx trainer per (dataset, engine mode) measurement."""
     model = MultinomialLogisticRegression(dim=60, num_classes=10)
@@ -148,6 +149,7 @@ def build_trainer(
         systems=systems if systems is not None else FractionStragglers(0.5, seed=seed),
         seed=seed,
         engine=executor,
+        comms=comms,
         evaluation=EvalConfig(every=eval_every, mode=eval_mode),
         telemetry=telemetry,
         label=f"bench-{mode}",
@@ -162,6 +164,7 @@ def build_async_trainer(
     seed: int = 0,
     telemetry=None,
     label: str = "bench-async",
+    comms=None,
 ) -> FederatedTrainer:
     """One FedProx trainer per async staleness-window measurement.
 
@@ -181,6 +184,7 @@ def build_async_trainer(
         systems=FractionStragglers(0.5, seed=seed),
         seed=seed,
         engine=f"async:window={window},{ASYNC_ARRIVALS}",
+        comms=comms,
         evaluation=EvalConfig(every=eval_every),
         telemetry=telemetry,
         label=label,
@@ -326,6 +330,7 @@ def run_async_sweep(
     rounds: int,
     epochs: float,
     telemetry_out: Optional[str] = None,
+    comms: Optional[str] = None,
 ) -> List[dict]:
     """Async-engine throughput vs staleness window (``--engine async``).
 
@@ -358,9 +363,11 @@ def run_async_sweep(
                 eval_every=rounds + 2,
                 telemetry=Telemetry(sinks),
                 label=f"bench-async-d{num_devices}-w{window}",
+                comms=comms,
             )
             try:
                 timing = time_rounds(trainer, rounds, sink)
+                comms_stats = trainer.comms_stats
             finally:
                 trainer.close()
 
@@ -416,6 +423,11 @@ def run_async_sweep(
                         if base_throughput
                         else None
                     ),
+                    "bytes_up": comms_stats["bytes_up"],
+                    "bytes_down": comms_stats["bytes_down"],
+                    "compression_ratio": round(
+                        comms_stats["compression_ratio"], 3
+                    ),
                 }
             )
             print(
@@ -433,6 +445,7 @@ def run_benchmark(
     workers: int,
     epochs: float,
     telemetry_out: Optional[str] = None,
+    comms: Optional[str] = None,
 ) -> dict:
     if telemetry_out:
         open(telemetry_out, "w").close()  # truncate; runs append below
@@ -447,10 +460,12 @@ def run_benchmark(
             if telemetry_out:
                 sinks.append(JSONLSink(telemetry_out, append=True))
             trainer = build_trainer(
-                dataset, mode, workers, epochs, telemetry=Telemetry(sinks)
+                dataset, mode, workers, epochs, telemetry=Telemetry(sinks),
+                comms=comms,
             )
             try:
                 timing = time_rounds(trainer, rounds, sink)
+                comms_stats = trainer.comms_stats
             finally:
                 trainer.close()
             elapsed = timing["seconds"]
@@ -473,6 +488,11 @@ def run_benchmark(
                     "rss_mb": timing["rss_mb"],
                     "peak_rss_mb": timing["peak_rss_mb"],
                     "telemetry_events": len(sink.events),
+                    "bytes_up": comms_stats["bytes_up"],
+                    "bytes_down": comms_stats["bytes_down"],
+                    "compression_ratio": round(
+                        comms_stats["compression_ratio"], 3
+                    ),
                 }
             )
             print(
@@ -581,6 +601,8 @@ def check_smoke(payload: dict) -> None:
             assert "rss_mb" in row and "peak_rss_mb" in row
             if row["peak_rss_mb"] is not None:
                 assert row["peak_rss_mb"] > 0, row
+            assert "bytes_up" in row and "bytes_down" in row, row
+            assert row["compression_ratio"] >= 1.0 or row["bytes_up"] == 0, row
         overhead = payload["null_telemetry_overhead"]["overhead_fraction"]
         assert overhead < 0.02, (
             f"disabled-telemetry overhead {100 * overhead:.3f}% exceeds the "
@@ -675,6 +697,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(default {list(ASYNC_WINDOWS)}, shrunk under --quick/--smoke)",
     )
     parser.add_argument(
+        "--comms", default=None, metavar="SPEC",
+        help="update-codec spec applied to the measured runs (e.g. "
+        "'comms:codec=qsgd,bits=8,ef=true'); default dense transport. "
+        "Rows always carry bytes_up/bytes_down/compression_ratio columns "
+        "(0 / 1.0 under dense); scripts/bench_comms.py sweeps codecs "
+        "directly.",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="CI-sized run: 100 devices, 3 rounds, 2 local epochs",
     )
@@ -729,7 +759,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         }
     else:
         payload = run_benchmark(
-            args.devices, args.rounds, args.workers, args.epochs, telemetry_out
+            args.devices, args.rounds, args.workers, args.epochs, telemetry_out,
+            comms=args.comms,
         )
         payload["skew_sweep"] = {
             "systems_model": "PowerLawStragglers(alpha)",
@@ -746,9 +777,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "devices": async_devices,
         "results": run_async_sweep(
             async_windows, async_devices, args.rounds, args.epochs,
-            telemetry_out,
+            telemetry_out, comms=args.comms,
         ),
     }
+    if args.comms:
+        payload["comms"] = args.comms
     payload["quick"] = bool(args.quick)
     payload["generated_unix"] = int(time.time())
 

@@ -23,6 +23,7 @@ __version__ = "1.0.0"
 
 from . import (
     autograd,
+    comms,
     core,
     datasets,
     faults,
@@ -44,6 +45,7 @@ __all__ = [
     "datasets",
     "systems",
     "faults",
+    "comms",
     "core",
     "metrics",
     "telemetry",

@@ -1,0 +1,362 @@
+"""Update codecs: compact wire encodings of client model updates.
+
+A federated round moves two kinds of traffic: the dense global model
+``w_t`` broadcast to every selected device (downlink), and each device's
+local result ``w_k^{t+1}`` shipped back (uplink).  The uplink is where
+compression pays — there is one upload per participating device per round
+— and it is what these codecs compress: a codec turns an update into a
+:class:`WirePayload` (a contiguous ``bytes`` buffer plus byte count and
+scalar metadata) and back.
+
+Determinism contract
+--------------------
+Encoding is a pure function of ``(update, round-start model, entropy)``.
+Stochastic codecs (QSGD) derive their randomness from the task's entropy
+tuple plus a dedicated salt — disjoint from the mini-batch and corruption
+streams — so every executor produces bit-identical payloads for the same
+task, retries draw fresh rounding noise (their entropy carries the retry
+salt and attempt index), and ledger replay re-derives identical wire
+traffic.
+
+Delta vs. raw encodings
+-----------------------
+Lossy codecs operate on the *delta* ``w - w_global`` (small, centered
+near zero — the natural input for quantization and sparsification, and
+the space in which error feedback accumulates).  The identity codec
+instead ships the raw ``w`` bytes: ``w_global + (w - w_global)`` is not
+bitwise ``w`` in floating point, and identity's contract is exact
+passthrough — histories with the identity codec are bit-identical to
+uncompressed runs.
+
+Wire formats are explicit little-endian so payloads (and their byte
+counts) are platform-independent.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+# Entropy salt deriving a codec's randomness stream from a task's entropy
+# tuple — disjoint from the mini-batch (no salt) and corruption
+# (_CORRUPTION_SALT) streams, so enabling a stochastic codec never
+# perturbs the solve it compresses.
+COMMS_SALT = 0xC0DE
+
+#: Bytes per dense float64 coordinate — the uncompressed baseline against
+#: which compression ratios are measured.
+DENSE_ITEMSIZE = 8
+
+
+def codec_rng(entropy: Sequence[int]) -> np.random.Generator:
+    """The codec randomness for one task, identical in any process."""
+    return np.random.default_rng(
+        np.random.SeedSequence([int(x) for x in entropy] + [COMMS_SALT])
+    )
+
+
+@dataclass(frozen=True)
+class WirePayload:
+    """One encoded update as it would cross the network.
+
+    Attributes
+    ----------
+    codec:
+        Spec of the codec that produced the payload (``"qsgd8"`` etc.).
+    buffer:
+        The packed wire bytes — a single contiguous ``bytes`` object, so
+        shipping it across a process boundary pickles the raw buffer
+        exactly once (no ndarray reduce round-trip).
+    nbytes:
+        ``len(buffer)`` — the accounted uplink size.
+    meta:
+        Codec-specific scalars (quantization bit width, kept-coordinate
+        count, ...) for diagnostics; never needed to decode.
+    """
+
+    codec: str
+    buffer: bytes
+    nbytes: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class Codec(abc.ABC):
+    """Encode/decode one client update to and from wire bytes.
+
+    Subclasses implement the delta-space pair
+    :meth:`encode_delta`/:meth:`decode_delta`; the update-space pair
+    :meth:`encode_update`/:meth:`decode_update` wraps them with the
+    ``w - w_global`` arithmetic (the identity codec overrides the update
+    pair to pass raw bytes through bit-exactly).  :meth:`wire_nbytes`
+    predicts the exact payload size for a given dimension *without*
+    encoding — the async engine uses it to scale simulated upload times
+    at admission, before any solve has run.
+    """
+
+    #: Canonical codec name (registry key prefix).
+    name: str = ""
+    #: Lossless codecs round-trip every update bit-exactly; error feedback
+    #: is skipped for them (the residual is identically zero).
+    lossless: bool = False
+
+    @abc.abstractmethod
+    def spec(self) -> str:
+        """Short display spec (``"identity"``, ``"qsgd8"``, ``"topk64"``)."""
+
+    @abc.abstractmethod
+    def wire_nbytes(self, n_params: int) -> int:
+        """Exact encoded payload size in bytes for a ``n_params`` vector."""
+
+    @abc.abstractmethod
+    def encode_delta(
+        self, delta: np.ndarray, entropy: Sequence[int]
+    ) -> WirePayload:
+        """Encode a delta vector (update minus round-start model)."""
+
+    @abc.abstractmethod
+    def decode_delta(self, payload: WirePayload, n_params: int) -> np.ndarray:
+        """Decode a payload back to a float64 delta vector."""
+
+    def encode_update(
+        self, w: np.ndarray, w_global: np.ndarray, entropy: Sequence[int]
+    ) -> WirePayload:
+        """Encode a local result against the round-start model."""
+        return self.encode_delta(w - w_global, entropy)
+
+    def decode_update(
+        self, payload: WirePayload, w_global: np.ndarray
+    ) -> np.ndarray:
+        """Decode a payload back to the local result's iterate."""
+        return w_global + self.decode_delta(payload, w_global.shape[0])
+
+
+@dataclass(frozen=True)
+class IdentityCodec(Codec):
+    """Bit-identical passthrough: the dense update as raw float64 bytes.
+
+    The parity anchor of the subsystem: byte accounting and the payload
+    round-trip machinery run exactly as for lossy codecs, but the decoded
+    update is bitwise the original (NaNs from corruption faults included),
+    so identity-codec histories equal uncompressed histories on every
+    executor.
+    """
+
+    name = "identity"
+    lossless = True
+
+    def spec(self) -> str:
+        return "identity"
+
+    def wire_nbytes(self, n_params: int) -> int:
+        return DENSE_ITEMSIZE * n_params
+
+    def encode_update(
+        self, w: np.ndarray, w_global: np.ndarray, entropy: Sequence[int]
+    ) -> WirePayload:
+        buffer = np.ascontiguousarray(w, dtype="<f8").tobytes()
+        return WirePayload(self.spec(), buffer, len(buffer))
+
+    def decode_update(
+        self, payload: WirePayload, w_global: np.ndarray
+    ) -> np.ndarray:
+        return np.frombuffer(payload.buffer, dtype="<f8").copy()
+
+    def encode_delta(
+        self, delta: np.ndarray, entropy: Sequence[int]
+    ) -> WirePayload:
+        buffer = np.ascontiguousarray(delta, dtype="<f8").tobytes()
+        return WirePayload(self.spec(), buffer, len(buffer))
+
+    def decode_delta(self, payload: WirePayload, n_params: int) -> np.ndarray:
+        return np.frombuffer(payload.buffer, dtype="<f8").copy()
+
+
+@dataclass(frozen=True)
+class CastCodec(Codec):
+    """Low-precision float cast of the delta (``fp16`` or ``fp32``).
+
+    The simplest lossy codec: 2x (fp32) or 4x (fp16) smaller than dense
+    float64, deterministic (no randomness), with IEEE round-to-nearest
+    as the only loss.  fp16 overflows to ±inf for deltas beyond ~65504 —
+    loud, finite-check-detectable damage, same as any diverging solve.
+    """
+
+    name = "cast"
+    dtype: str = "fp16"
+
+    _WIRE = {"fp16": "<f2", "fp32": "<f4"}
+
+    def __post_init__(self) -> None:
+        if self.dtype not in self._WIRE:
+            raise ValueError(
+                f"cast codec dtype must be one of {tuple(self._WIRE)}, "
+                f"got {self.dtype!r}"
+            )
+
+    def spec(self) -> str:
+        return self.dtype
+
+    def wire_nbytes(self, n_params: int) -> int:
+        return np.dtype(self._WIRE[self.dtype]).itemsize * n_params
+
+    def encode_delta(
+        self, delta: np.ndarray, entropy: Sequence[int]
+    ) -> WirePayload:
+        buffer = np.asarray(delta).astype(self._WIRE[self.dtype]).tobytes()
+        return WirePayload(self.spec(), buffer, len(buffer))
+
+    def decode_delta(self, payload: WirePayload, n_params: int) -> np.ndarray:
+        wire = np.frombuffer(payload.buffer, dtype=self._WIRE[self.dtype])
+        return wire.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class QSGDCodec(Codec):
+    """Seeded QSGD-style stochastic uniform quantization.
+
+    Coordinates are mapped onto ``2^bits`` uniform levels spanning
+    ``[-scale, scale]`` with ``scale = max|delta|``, rounded
+    *stochastically* (up with probability equal to the fractional
+    position) so quantization is unbiased:  ``E[decode(encode(v))] = v``.
+    Levels bit-pack to exactly ``bits`` bits per coordinate; the wire
+    format is an 8-byte float64 scale header followed by the packed
+    level stream, so an 8-bit payload is ~8x smaller than dense float64.
+
+    The per-coordinate error is bounded by one level width,
+    ``2 * scale / (2^bits - 1)``.  A non-finite scale (a NaN- or
+    inf-poisoned delta) encodes a zeroed level stream under the bad scale
+    header and decodes to all-NaN — corruption faults stay loud through
+    compression, deterministically.
+    """
+
+    name = "qsgd"
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError(
+                f"qsgd bit width must be in [1, 16], got {self.bits}"
+            )
+
+    @property
+    def levels(self) -> int:
+        """Highest quantization level (``2^bits - 1``)."""
+        return (1 << self.bits) - 1
+
+    def spec(self) -> str:
+        return f"qsgd{self.bits}"
+
+    def wire_nbytes(self, n_params: int) -> int:
+        return 8 + (n_params * self.bits + 7) // 8
+
+    def encode_delta(
+        self, delta: np.ndarray, entropy: Sequence[int]
+    ) -> WirePayload:
+        delta = np.asarray(delta, dtype=np.float64)
+        d = delta.shape[0]
+        levels = self.levels
+        scale = float(np.max(np.abs(delta))) if d else 0.0
+        if not np.isfinite(scale) or scale == 0.0:
+            # Degenerate vectors carry no level information: an all-zero
+            # stream under the (possibly non-finite) scale header decodes
+            # to zeros or all-NaN respectively.
+            q = np.zeros(d, dtype=np.uint32)
+        else:
+            u = (delta / scale + 1.0) * (0.5 * levels)
+            base = np.floor(u)
+            draw = codec_rng(entropy).random(d)
+            q = base.astype(np.int64) + (draw < (u - base))
+            q = np.clip(q, 0, levels).astype(np.uint32)
+        buffer = struct.pack("<d", scale) + _pack_levels(q, self.bits)
+        return WirePayload(
+            self.spec(), buffer, len(buffer),
+            meta={"bits": self.bits, "scale": scale},
+        )
+
+    def decode_delta(self, payload: WirePayload, n_params: int) -> np.ndarray:
+        levels = self.levels
+        (scale,) = struct.unpack_from("<d", payload.buffer, 0)
+        if not np.isfinite(scale):
+            return np.full(n_params, np.nan)
+        if scale == 0.0:
+            return np.zeros(n_params)
+        q = _unpack_levels(payload.buffer[8:], n_params, self.bits)
+        return scale * (q.astype(np.float64) * (2.0 / levels) - 1.0)
+
+
+@dataclass(frozen=True)
+class TopKCodec(Codec):
+    """Top-k magnitude sparsification with packed index+value encoding.
+
+    Keeps the ``k`` largest-magnitude delta coordinates (stable-sorted,
+    so ties break by coordinate index identically everywhere), shipping
+    them as sorted uint32 indices plus float32 values — 8 wire bytes per
+    kept coordinate after a 4-byte count header.  Dropped coordinates
+    decode to zero; with error feedback enabled they accumulate in the
+    sender's residual and ship in a later round.
+
+    NaN coordinates sort as infinite magnitude, so a corruption fault's
+    poisoned coordinates are always among the kept set — compression
+    never silently launders a poisoned update past the finiteness guard.
+    """
+
+    name = "topk"
+    k: int = 64
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"topk k must be >= 1, got {self.k}")
+
+    def spec(self) -> str:
+        return f"topk{self.k}"
+
+    def wire_nbytes(self, n_params: int) -> int:
+        return 4 + 8 * min(self.k, n_params)
+
+    def encode_delta(
+        self, delta: np.ndarray, entropy: Sequence[int]
+    ) -> WirePayload:
+        delta = np.asarray(delta, dtype=np.float64)
+        k = min(self.k, delta.shape[0])
+        magnitude = np.abs(delta)
+        magnitude = np.where(np.isnan(magnitude), np.inf, magnitude)
+        order = np.argsort(-magnitude, kind="stable")[:k]
+        idx = np.sort(order).astype("<u4")
+        vals = delta[idx].astype("<f4")
+        buffer = struct.pack("<I", k) + idx.tobytes() + vals.tobytes()
+        return WirePayload(
+            self.spec(), buffer, len(buffer), meta={"k": int(k)}
+        )
+
+    def decode_delta(self, payload: WirePayload, n_params: int) -> np.ndarray:
+        (k,) = struct.unpack_from("<I", payload.buffer, 0)
+        idx = np.frombuffer(payload.buffer, dtype="<u4", count=k, offset=4)
+        vals = np.frombuffer(
+            payload.buffer, dtype="<f4", count=k, offset=4 + 4 * k
+        )
+        out = np.zeros(n_params)
+        out[idx] = vals.astype(np.float64)
+        return out
+
+
+def _pack_levels(q: np.ndarray, bits: int) -> bytes:
+    """Bit-pack unsigned levels (< 2^bits) into a contiguous byte stream."""
+    if q.size == 0:
+        return b""
+    shifts = np.arange(bits, dtype=np.uint32)
+    bit_matrix = ((q[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bit_matrix.ravel()).tobytes()
+
+
+def _unpack_levels(packed: bytes, count: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`_pack_levels` for ``count`` levels."""
+    if count == 0:
+        return np.zeros(0, dtype=np.uint32)
+    raw = np.frombuffer(packed, dtype=np.uint8)
+    stream = np.unpackbits(raw, count=count * bits)
+    weights = (1 << np.arange(bits, dtype=np.uint32)).astype(np.uint32)
+    return stream.reshape(count, bits).astype(np.uint32) @ weights

@@ -3,6 +3,7 @@
 from .adaptive_mu import AdaptiveMuController
 from .baselines import make_distributed_sgd
 from .callbacks import Callback, EarlyStopping, LambdaCallback
+from ..comms import CommsConfig
 from .client import Client, ClientPool, ClientUpdate
 from .config import (
     CohortConfig,
@@ -34,6 +35,7 @@ __all__ = [
     "TrainerConfig",
     "OptimizationConfig",
     "CohortConfig",
+    "CommsConfig",
     "EngineConfig",
     "EvalConfig",
     "EvaluationConfig",

@@ -55,6 +55,14 @@ class ClientUpdate:
         Multiplicative staleness discount applied to this update's
         aggregation weight; 1.0 (no discount) for fresh updates and on
         synchronous executors.
+    payload:
+        Encoded wire form (:class:`~repro.comms.codecs.WirePayload`) of
+        the iterate while it is in transit under a device-side codec —
+        in that state ``w`` is ``None`` and only the payload's contiguous
+        byte buffer crosses the process boundary.  The executor's comms
+        finalize decodes it back into ``w`` (and clears this field)
+        before any consumer sees the update; ``None`` everywhere outside
+        that window.
     """
 
     client_id: int
@@ -67,6 +75,7 @@ class ClientUpdate:
     fault: Optional[FaultDecision] = None
     staleness: int = 0
     discount: float = 1.0
+    payload: Optional[object] = None
 
 
 class Client:

@@ -12,6 +12,9 @@ sub-sections matching the trainer's concerns:
 * :class:`EngineConfig` — the round execution engine (serial / parallel /
   cohort / async) and its parameters, replacing the flat ``executor`` spec
   string plus knob sprawl.
+* :class:`~repro.comms.config.CommsConfig` — update compression: which
+  codec (if any) compresses client uploads, and whether error feedback is
+  enabled.
 * :class:`DiagnosticsConfig` — observability (γ/dissimilarity tracking,
   telemetry, cost accounting).
 
@@ -32,6 +35,7 @@ import warnings
 from dataclasses import dataclass, field, fields, replace as dc_replace
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
+from ..comms.config import CommsConfig
 from ..faults.models import FaultSchedule, fault_schedule_from_dict
 from ..faults.policy import FaultPolicy
 from ..systems.costs import CostTracker
@@ -468,8 +472,8 @@ class TrainerConfig:
 
     Attributes
     ----------
-    optimization, cohorting, evaluation, engine, diagnostics:
-        The five concern groups (see module docstring).
+    optimization, cohorting, evaluation, engine, comms, diagnostics:
+        The six concern groups (see module docstring).
     seed:
         Seed fixing device selection, straggler/fault draws, and
         mini-batch orders.
@@ -486,6 +490,7 @@ class TrainerConfig:
     cohorting: CohortConfig = field(default_factory=CohortConfig)
     evaluation: EvalConfig = field(default_factory=EvalConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
+    comms: CommsConfig = field(default_factory=CommsConfig)
     diagnostics: DiagnosticsConfig = field(default_factory=DiagnosticsConfig)
     seed: int = 0
     label: str = ""
@@ -512,6 +517,7 @@ class TrainerConfig:
         engine = kwargs.pop("engine", None)
         executor = kwargs.pop("executor", None)
         evaluation = kwargs.pop("evaluation", None)
+        comms = kwargs.pop("comms", None)
         if engine is not None and executor is not None:
             raise TypeError(
                 "pass the execution engine either via engine= or the legacy "
@@ -540,6 +546,7 @@ class TrainerConfig:
             cohorting=CohortConfig(**sections["cohorting"]),
             evaluation=eval_cfg,
             engine=EngineConfig.resolve(engine if engine is not None else executor),
+            comms=CommsConfig.resolve(comms),
             diagnostics=DiagnosticsConfig(**sections["diagnostics"]),
             **top,
         )
@@ -561,6 +568,7 @@ class TrainerConfig:
             if self.engine.instance is not None
             else self.engine.spec()
         )
+        kwargs["comms"] = self.comms.spec()
         kwargs["label"] = self.label
         return kwargs
 
@@ -578,6 +586,7 @@ class TrainerConfig:
             kwargs[name] = getattr(getattr(self, section), attr)
         kwargs["evaluation"] = self.evaluation
         kwargs["engine"] = self.engine
+        kwargs["comms"] = self.comms
         kwargs["seed"] = self.seed
         kwargs["label"] = self.label
         return kwargs
@@ -601,6 +610,7 @@ class TrainerConfig:
                 for f in fields(section)
             }
         out["engine"] = self.engine.to_dict()
+        out["comms"] = self.comms.to_dict()
         out["seed"] = self.seed
         out["label"] = self.label
         return out
@@ -641,10 +651,18 @@ class TrainerConfig:
             # Pre-redesign manifests carried a flat executor spec string
             # (or an instance's class name, which resolve() rejects loudly).
             engine = EngineConfig.resolve(spec.get("executor"))
+        comms_spec = spec.get("comms")
+        comms = (
+            CommsConfig.from_dict(comms_spec)
+            if isinstance(comms_spec, dict)
+            # Pre-comms manifests have no comms section: compression off.
+            else CommsConfig.resolve(comms_spec)
+        )
         return cls(
             seed=spec.get("seed", 0),
             label=spec.get("label", ""),
             engine=engine,
+            comms=comms,
             **built,
         )
 
@@ -666,6 +684,10 @@ class TrainerConfig:
         if "engine" in kwargs or "executor" in kwargs:
             value = kwargs.pop("engine", None) or kwargs.pop("executor", None)
             updated = dc_replace(updated, engine=EngineConfig.resolve(value))
+        if "comms" in kwargs:
+            updated = dc_replace(
+                updated, comms=CommsConfig.resolve(kwargs.pop("comms"))
+            )
         if "evaluation" in kwargs:
             evaluation = kwargs.pop("evaluation")
             if not isinstance(evaluation, EvalConfig):

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..comms import CommsConfig, CommsManager
 from ..datasets.federated import FederatedDataset
 from ..faults.manager import FaultManager, RoundFaultReport
 from ..faults.models import FaultSchedule, resolve_faults
@@ -217,6 +218,7 @@ class FederatedTrainer:
         mu_controller: Optional[AdaptiveMuController] = None,
         seed: int = 0,
         engine: Optional[Union[EngineConfig, RoundExecutor, str]] = None,
+        comms: Optional[Union[CommsConfig, str]] = None,
         evaluation: Optional[EvalConfig] = None,
         eval_every=_UNSET,
         eval_test=_UNSET,
@@ -343,6 +345,18 @@ class FederatedTrainer:
         self.executor.configure_environment(
             systems=self.systems, seed=self.seed, epochs=self.epochs
         )
+        # Update compression: the dense default builds no manager at all,
+        # so uncompressed runs keep their historical code path (and
+        # histories) untouched.  The executor shares the manager — every
+        # engine decodes payloads before the fault policy or aggregation
+        # reads an update.
+        self.comms_config = CommsConfig.resolve(comms)
+        self._comms_manager: Optional[CommsManager] = (
+            CommsManager(self.comms_config)
+            if self.comms_config.enabled
+            else None
+        )
+        self.executor.configure_comms(self._comms_manager)
         self.eval_mode = self.executor.eval_mode
         # Sampled evaluation runs in-process through the client pool (the
         # per-round sample is a pure function of (seed, round), so every
@@ -469,6 +483,8 @@ class FederatedTrainer:
         if self.faults.enabled:
             config["faults"] = self.faults.to_dict()
             config["fault_policy"] = self.fault_policy.to_dict()
+        if self.comms_config.enabled:
+            config["comms"] = self.comms_config.to_dict()
         config.update(self.solver.telemetry_tags())
         self.telemetry.manifest(
             label=self.label,
@@ -516,6 +532,7 @@ class FederatedTrainer:
             cost_tracker=None,
             seed=self.seed,
             engine=self._ledger_engine(),
+            comms=self.comms_config,
             label=self.label,
         )
         return config.to_dict()
@@ -587,6 +604,14 @@ class FederatedTrainer:
                     continue
             pending.append((cid, assignment.epochs, occurrence))
 
+        # Device-side codec rides on the task when error feedback is off
+        # (the lean IPC path); under EF the manager encodes server-side.
+        task_codec = (
+            self._comms_manager.task_codec
+            if self._comms_manager is not None
+            else None
+        )
+
         def build_task(cid, epochs, occurrence, extra_entropy, fault):
             return LocalTask(
                 client_id=cid,
@@ -598,6 +623,7 @@ class FederatedTrainer:
                 measure_gamma=self.track_gamma,
                 collect_timings=self.telemetry.enabled,
                 fault=fault,
+                codec=task_codec,
             )
 
         if self._fault_manager is None:
@@ -907,6 +933,22 @@ class FederatedTrainer:
 
             return FaultStats().as_dict()
         return self._fault_manager.stats.as_dict()
+
+    @property
+    def comms_stats(self) -> dict:
+        """Cumulative wire-byte accounting (identity values when disabled).
+
+        See :meth:`~repro.comms.manager.CommsManager.stats` for the keys.
+        """
+        if self._comms_manager is None:
+            return {
+                "bytes_up": 0.0,
+                "bytes_down": 0.0,
+                "dense_bytes_up": 0.0,
+                "compression_ratio": 1.0,
+                "residual_clients": 0.0,
+            }
+        return self._comms_manager.stats()
 
     def _flush_ledger_events(self) -> None:
         """Canonicalize, digest, and emit the queued round records."""

@@ -236,13 +236,35 @@ class AsyncExecutor(RoundExecutor):
 
         # Admission: each selected device checks in; a bounded queue
         # rejects the overflow (backpressure — the device's work is lost,
-        # exactly as if it had been dropped by the sampler).
+        # exactly as if it had been dropped by the sampler).  Compression
+        # shortens the simulated *upload* leg by the codec's exact
+        # predicted wire ratio (the downlink stays dense — the server
+        # broadcasts the uncompressed model), so smaller payloads arrive
+        # earlier and shift the staleness distribution.  A ratio of
+        # exactly 1.0 (identity codec, or comms disabled) leaves the
+        # historical total untouched bit-for-bit.
+        upload_ratio = 1.0
+        if self._comms is not None and tasks:
+            upload_ratio = self._comms.upload_ratio(tasks[0].w_global.shape[0])
         rejected = 0
+        admitted = 0
         for task in tasks:
             if self.capacity > 0 and len(self._queue) >= self.capacity:
                 rejected += 1
                 continue
-            duration = self.clock.duration(round_idx, task.client_id, task.epochs)
+            if upload_ratio != 1.0:
+                timing = self.clock.timing(
+                    round_idx, task.client_id, task.epochs
+                )
+                duration = (
+                    timing.download
+                    + timing.compute
+                    + timing.upload * upload_ratio
+                )
+            else:
+                duration = self.clock.duration(
+                    round_idx, task.client_id, task.epochs
+                )
             period = self.clock.period or 1.0
             self._queue.append(
                 _QueuedCheckin(
@@ -253,6 +275,15 @@ class AsyncExecutor(RoundExecutor):
                 )
             )
             self._seq += 1
+            admitted += 1
+        if self._comms is not None and admitted and tasks:
+            # Downlink accounting happens at admission (every admitted
+            # device received the model broadcast), not at delivery —
+            # discarded entries still downloaded it.
+            self._comms.record_dispatch(
+                admitted, tasks[0].w_global.shape[0],
+                telemetry=telemetry, round_idx=round_idx,
+            )
         if rejected:
             telemetry.metric(
                 "async.admission_reject", rejected, round_idx=round_idx,
@@ -294,6 +325,13 @@ class AsyncExecutor(RoundExecutor):
                     staleness=staleness,
                 )
                 updates.append(update)
+        # Comms finalize per delivered batch: decode device-side payloads
+        # or round-trip dense updates (error feedback) against each
+        # entry's *own* submit-round model — downlink was accounted at
+        # admission, so finalize only counts the delivered uplinks.
+        self._finalize_comms(
+            updates, [entry.task for entry in due], count_dispatch=False
+        )
 
         # Backpressure bookkeeping: discard entries that would exceed the
         # staleness window by the time the next round could deliver them.

@@ -335,7 +335,13 @@ class CohortExecutor(RoundExecutor):
         self._require_bound()
         if not tasks:
             return []
-        return solve_cohort(
+        updates = solve_cohort(
             tasks, self.clients, self.model, self.solver,
             telemetry=self.telemetry,
         )
+        # The stacked kernels emit dense iterates (they ignore any
+        # device-side codec on the tasks); the comms finalize round-trips
+        # them server-side, so lossy-codec histories agree with the
+        # serial/parallel engines — encoding is a pure function of
+        # (update, w_global, task entropy) either way.
+        return self._finalize_comms(updates, tasks)

@@ -95,6 +95,15 @@ class LocalTask:
         description, so their effects — a crash's truncated budget, a
         corruption's noise stream — are pure functions of the task and
         identical on every executor.
+    codec:
+        Update codec (:class:`~repro.comms.codecs.Codec`) for the
+        device-side encode fast path: when set, the solve's result ships
+        back as an encoded :class:`~repro.comms.codecs.WirePayload`
+        (``update.payload``) instead of a dense array, and the server
+        decodes at finalize.  ``None`` (default, and always under error
+        feedback) ships the dense iterate.  Encoding randomness derives
+        from ``rng_entropy`` plus the comms salt, so payloads are
+        bit-identical on every executor.
     """
 
     client_id: int
@@ -106,6 +115,7 @@ class LocalTask:
     correction: Optional[np.ndarray] = None
     collect_timings: bool = False
     fault: Optional[FaultDecision] = None
+    codec: Optional[object] = None
 
 
 def task_rng(task: LocalTask) -> np.random.Generator:
@@ -183,6 +193,18 @@ def solve_with_timings(client: "Client", task: LocalTask) -> "ClientUpdate":
     apply_update_fault(update, task)
     if task.collect_timings:
         update.timings = {"solve": time.perf_counter() - t0}
+    if task.codec is not None:
+        # Device-side encode: the iterate ships back as one contiguous
+        # wire buffer.  Runs after the fault stamp so corruption damage is
+        # part of what gets encoded, exactly as on a real device.
+        t1 = time.perf_counter() if task.collect_timings else 0.0
+        update.payload = task.codec.encode_update(
+            update.w, task.w_global, task.rng_entropy
+        )
+        update.w = None
+        if task.collect_timings:
+            update.timings["comm_encode"] = time.perf_counter() - t1
+            update.timings["payload_bytes"] = float(update.payload.nbytes)
     return update
 
 
@@ -203,6 +225,10 @@ class RoundExecutor(abc.ABC):
     #: no tasks has nothing to do.
     continuous: bool = False
 
+    #: Update-compression manager shared by the trainer (class default so
+    #: subclasses that skip ``super().__init__()`` still read ``None``).
+    _comms = None
+
     def __init__(self) -> None:
         self.dataset: Optional["FederatedDataset"] = None
         self.model: Optional["FederatedModel"] = None
@@ -211,6 +237,7 @@ class RoundExecutor(abc.ABC):
         self.eval_mode: str = "per_client"
         self.evaluator: Optional[FederationEvaluator] = None
         self.telemetry = NULL_TELEMETRY
+        self._comms = None
 
     # Lifecycle ---------------------------------------------------------- #
     def bind(
@@ -293,6 +320,30 @@ class RoundExecutor(abc.ABC):
         rounds that contribute no new tasks (mass churn, total crash).
         """
 
+    def configure_comms(self, comms) -> None:
+        """Receive the trainer's update-compression manager (or ``None``).
+
+        Called by the trainer once after :meth:`configure_environment`.
+        Executors funnel every finished batch through the manager's
+        payload round-trip (:meth:`_finalize_comms`) before returning
+        from :meth:`run_local_solves`, so downstream consumers — the
+        fault manager's finiteness quarantine first among them — only
+        ever see decoded dense updates.
+        """
+        self._comms = comms
+
+    def _finalize_comms(
+        self, updates: List["ClientUpdate"], tasks: Sequence[LocalTask],
+        count_dispatch: bool = True,
+    ) -> List["ClientUpdate"]:
+        """Round-trip a finished batch through the comms manager, if any."""
+        if self._comms is not None:
+            self._comms.finalize_round(
+                updates, tasks, telemetry=self.telemetry,
+                count_dispatch=count_dispatch,
+            )
+        return updates
+
     def spec(self) -> str:
         """The executor spec string reconstructing this executor.
 
@@ -356,7 +407,8 @@ class SerialExecutor(RoundExecutor):
 
     def run_local_solves(self, tasks: Sequence[LocalTask]) -> List["ClientUpdate"]:
         self._require_bound()
-        return [
+        updates = [
             solve_with_timings(self.clients[task.client_id], task)
             for task in tasks
         ]
+        return self._finalize_comms(updates, tasks)

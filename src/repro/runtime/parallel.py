@@ -95,6 +95,13 @@ def _solve_task(task: LocalTask) -> "ClientUpdate":
     """
     client = _WORKER["clients"][task.client_id]
     update = solve_with_timings(client, task)
+    if update.w is not None:
+        # Payload audit: the iterate crosses the process boundary as one
+        # contiguous float64 buffer (ndarray pickling copies exactly
+        # once); solver outputs already satisfy this, so the call is a
+        # no-op in practice.  Under a device-side codec ``w`` is None and
+        # the encoded payload's bytes buffer is the only array traffic.
+        update.w = np.ascontiguousarray(update.w)
     if update.timings is not None:
         update.timings["worker_pid"] = float(os.getpid())
     return update
@@ -222,9 +229,13 @@ class ParallelExecutor(RoundExecutor):
         if not tasks:
             return []
         self.ensure_started()
-        return list(
+        updates = list(
             self._pool.map(_solve_task, list(tasks), chunksize=self.chunksize)
         )
+        # Server-side comms finalize: decode device-side payloads (the
+        # lean IPC path — only encoded bytes crossed the pool boundary)
+        # or round-trip dense updates under error feedback.
+        return self._finalize_comms(updates, tasks)
 
     # Evaluation --------------------------------------------------------- #
     def _eval_bounds(self) -> List[Tuple[int, int]]:

@@ -27,6 +27,7 @@ __all__ = [
     "CheckReport",
     "RunDiff",
     "check_runs",
+    "comms_totals",
     "diff_runs",
     "format_summary",
     "phase_breakdown",
@@ -121,6 +122,38 @@ def tiling_issues(artifact: RunArtifact, slack: float = 0.5) -> List[str]:
 # --------------------------------------------------------------------- #
 # Summaries
 # --------------------------------------------------------------------- #
+def comms_totals(artifact: RunArtifact) -> Optional[Dict[str, float]]:
+    """Aggregate wire-byte counters emitted by :mod:`repro.comms`.
+
+    Sums the ``comms.bytes_up`` / ``comms.bytes_down`` counters and
+    averages the per-round ``comms.compression_ratio`` gauge.  Returns
+    ``None`` when the run carried no comms telemetry (dense transport).
+    """
+    bytes_up = bytes_down = 0.0
+    ratios: List[float] = []
+    seen = False
+    for event in artifact.metrics:
+        name = event.get("name")
+        if name == "comms.bytes_up":
+            bytes_up += event.get("value") or 0.0
+            seen = True
+        elif name == "comms.bytes_down":
+            bytes_down += event.get("value") or 0.0
+            seen = True
+        elif name == "comms.compression_ratio":
+            ratios.append(event.get("value") or 0.0)
+            seen = True
+    if not seen:
+        return None
+    return {
+        "bytes_up": bytes_up,
+        "bytes_down": bytes_down,
+        "compression_ratio": (
+            sum(ratios) / len(ratios) if ratios else 1.0
+        ),
+    }
+
+
 def summarize_run(artifact: RunArtifact) -> Dict[str, Any]:
     """Structured one-run digest (see :func:`format_summary` to render)."""
     records = artifact.history_records()
@@ -142,6 +175,7 @@ def summarize_run(artifact: RunArtifact) -> Dict[str, Any]:
         "digest": footer.get("digest"),
         "seed": manifest.get("seed"),
         "events": len(artifact.events),
+        "comms": comms_totals(artifact),
         "issues": verify_artifact(artifact),
         "tiling_issues": tiling_issues(artifact),
         "phases": phase_breakdown(artifact),
@@ -172,6 +206,13 @@ def format_summary(summary: Dict[str, Any]) -> str:
     digest = summary["digest"]
     if digest:
         lines.append(f"  digest: {digest}")
+    comms = summary.get("comms")
+    if comms is not None:
+        lines.append(
+            f"  comms: up={comms['bytes_up']:,.0f}B "
+            f"down={comms['bytes_down']:,.0f}B "
+            f"ratio={comms['compression_ratio']:.2f}x"
+        )
     if summary["issues"]:
         lines.append(f"  LEDGER ISSUES ({len(summary['issues'])}):")
         lines.extend(f"    - {issue}" for issue in summary["issues"])
